@@ -1,0 +1,153 @@
+// voronet-node runs one distributed VoroNet peer over TCP and drives it
+// from a tiny line protocol on stdin — enough to assemble a real overlay
+// across processes or machines by hand.
+//
+// Start the first node:
+//
+//	voronet-node -listen 127.0.0.1:7001 -x 0.2 -y 0.3 -bootstrap
+//
+// Join more nodes:
+//
+//	voronet-node -listen 127.0.0.1:7002 -x 0.8 -y 0.7 -join 127.0.0.1:7001
+//
+// Commands on stdin:
+//
+//	query X Y    route a point query, print the owning object
+//	view         print vn / cn / long-link views
+//	leave        leave the overlay and exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"voronet"
+	"voronet/internal/geom"
+	"voronet/internal/node"
+	"voronet/internal/proto"
+	"voronet/internal/transport"
+)
+
+var (
+	listen    = flag.String("listen", "127.0.0.1:0", "TCP listen address")
+	x         = flag.Float64("x", 0.5, "object x attribute in [0,1]")
+	y         = flag.Float64("y", 0.5, "object y attribute in [0,1]")
+	bootstrap = flag.Bool("bootstrap", false, "start a fresh overlay")
+	join      = flag.String("join", "", "address of an overlay member to join through")
+	nmax      = flag.Int("nmax", 100000, "provisioned overlay size (fixes dmin)")
+	links     = flag.Int("k", 1, "long-range links")
+)
+
+func main() {
+	flag.Parse()
+	ep, err := transport.ListenTCP(*listen)
+	if err != nil {
+		fatal(err)
+	}
+	defer ep.Close()
+
+	nd := node.New(ep, geom.Pt(*x, *y), node.Config{
+		DMin:      voronet.DefaultDMin(*nmax),
+		LongLinks: *links,
+		Seed:      time.Now().UnixNano(),
+	})
+	fmt.Printf("node %s at (%g, %g)\n", nd.Info().Addr, *x, *y)
+
+	switch {
+	case *bootstrap:
+		if err := nd.Bootstrap(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("bootstrapped a fresh overlay")
+	case *join != "":
+		if err := nd.Join(*join); err != nil {
+			fatal(err)
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for !nd.Joined() {
+			if time.Now().After(deadline) {
+				fatal(fmt.Errorf("join via %s timed out", *join))
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		fmt.Printf("joined via %s; %d Voronoi neighbours\n", *join, len(nd.Neighbors()))
+	default:
+		fatal(fmt.Errorf("need -bootstrap or -join"))
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			fmt.Print("> ")
+			continue
+		}
+		switch fields[0] {
+		case "query":
+			if len(fields) != 3 {
+				fmt.Println("usage: query X Y")
+				break
+			}
+			qx, err1 := strconv.ParseFloat(fields[1], 64)
+			qy, err2 := strconv.ParseFloat(fields[2], 64)
+			if err1 != nil || err2 != nil {
+				fmt.Println("usage: query X Y")
+				break
+			}
+			done := make(chan struct{})
+			err := nd.Query(geom.Pt(qx, qy), func(owner proto.NodeInfo, hops int) {
+				fmt.Printf("owner of (%g, %g): %s at (%g, %g), %d hops\n",
+					qx, qy, owner.Addr, owner.Pos.X, owner.Pos.Y, hops)
+				close(done)
+			})
+			if err != nil {
+				fmt.Println("query:", err)
+				break
+			}
+			select {
+			case <-done:
+			case <-time.After(5 * time.Second):
+				fmt.Println("query timed out")
+			}
+		case "view":
+			fmt.Printf("vn (%d):\n", len(nd.Neighbors()))
+			for _, v := range nd.Neighbors() {
+				fmt.Printf("  %s (%g, %g)\n", v.Addr, v.Pos.X, v.Pos.Y)
+			}
+			fmt.Printf("cn (%d):\n", len(nd.CloseNeighbors()))
+			for _, v := range nd.CloseNeighbors() {
+				fmt.Printf("  %s (%g, %g)\n", v.Addr, v.Pos.X, v.Pos.Y)
+			}
+			fmt.Printf("LRn (%d):\n", len(nd.LongNeighbors()))
+			for j, v := range nd.LongNeighbors() {
+				tgt := nd.LongTargets()[j]
+				fmt.Printf("  link %d -> %s (target %g, %g)\n", j, v.Addr, tgt.X, tgt.Y)
+			}
+		case "leave":
+			if err := nd.Leave(); err != nil {
+				fmt.Println("leave:", err)
+			}
+			time.Sleep(200 * time.Millisecond) // let notifications flush
+			fmt.Println("left the overlay")
+			return
+		default:
+			fmt.Println("commands: query X Y | view | leave")
+		}
+		fmt.Print("> ")
+	}
+	// stdin closed (running headless, e.g. under nohup): keep serving the
+	// overlay until killed.
+	fmt.Println("stdin closed; serving headless")
+	select {}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "voronet-node:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,141 @@
+// voronet-sim runs an ad-hoc VoroNet scenario and prints overlay
+// statistics: build an overlay of a given size and distribution, churn it,
+// route through it, and report degrees, neighbourhood sizes, route-length
+// percentiles and protocol cost counters.
+//
+// Example:
+//
+//	voronet-sim -n 50000 -dist alpha2 -k 2 -churn 5000 -routes 2000
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"voronet"
+	"voronet/internal/stats"
+	"voronet/internal/workload"
+)
+
+var (
+	n      = flag.Int("n", 10000, "overlay size")
+	dist   = flag.String("dist", "uniform", "distribution: uniform, alpha1, alpha2, alpha5, clusters, grid")
+	k      = flag.Int("k", 1, "long-range links per object")
+	churn  = flag.Int("churn", 0, "number of leave+join churn events after the build")
+	routes = flag.Int("routes", 1000, "route-length samples")
+	seed   = flag.Int64("seed", 1, "RNG seed")
+	joins  = flag.Bool("protocol-joins", false, "build via full protocol joins (Algorithm 1) instead of direct inserts")
+)
+
+func main() {
+	flag.Parse()
+	rng := rand.New(rand.NewSource(*seed))
+	src := workload.ByName(*dist, rng)
+	if src == nil {
+		fmt.Fprintf(os.Stderr, "unknown distribution %q (have %v)\n", *dist, workload.Names())
+		os.Exit(2)
+	}
+	ov := voronet.New(voronet.Config{NMax: *n, LongLinks: *k, Seed: *seed + 1})
+
+	start := time.Now()
+	var last voronet.ObjectID = voronet.NoObject
+	for ov.Len() < *n {
+		var err error
+		var id voronet.ObjectID
+		if *joins {
+			id, err = ov.Join(src.Next(), last)
+		} else {
+			id, err = ov.Insert(src.Next())
+		}
+		if err != nil {
+			if errors.Is(err, voronet.ErrDuplicate) {
+				continue
+			}
+			fatal(err)
+		}
+		last = id
+	}
+	buildTime := time.Since(start)
+
+	start = time.Now()
+	measRng := rand.New(rand.NewSource(*seed + 2))
+	for i := 0; i < *churn; i++ {
+		victim, err := ov.RandomObject(measRng)
+		if err != nil {
+			fatal(err)
+		}
+		if err := ov.Remove(victim); err != nil {
+			fatal(err)
+		}
+		for {
+			if _, err := ov.Join(src.Next(), voronet.NoObject); err == nil {
+				break
+			} else if !errors.Is(err, voronet.ErrDuplicate) {
+				fatal(err)
+			}
+		}
+	}
+	churnTime := time.Since(start)
+
+	// Degree and close-neighbourhood statistics.
+	deg := stats.NewHistogram()
+	var cnSize stats.Running
+	var buf []voronet.ObjectID
+	ov.ForEachObject(func(o *voronet.Object) bool {
+		d, _ := ov.Degree(o.ID)
+		deg.Add(d)
+		buf, _ = ov.CloseNeighbors(o.ID, buf)
+		cnSize.Add(float64(len(buf)))
+		return true
+	})
+
+	// Route lengths.
+	start = time.Now()
+	var hops []float64
+	var agg stats.Running
+	for i := 0; i < *routes; i++ {
+		a, _ := ov.RandomObject(measRng)
+		b, _ := ov.RandomObject(measRng)
+		if a == b {
+			continue
+		}
+		h, err := ov.RouteToObject(a, b)
+		if err != nil {
+			fatal(err)
+		}
+		hops = append(hops, float64(h))
+		agg.Add(float64(h))
+	}
+	routeTime := time.Since(start)
+
+	mode, _ := deg.Mode()
+	c := ov.Counters()
+	fmt.Printf("overlay          %d objects, %s distribution, k=%d (dmin=%.2e)\n", ov.Len(), src.Name(), *k, ov.DMin())
+	fmt.Printf("build            %v (%s)\n", buildTime.Round(time.Millisecond), buildMode())
+	if *churn > 0 {
+		fmt.Printf("churn            %d leave+join in %v\n", *churn, churnTime.Round(time.Millisecond))
+	}
+	fmt.Printf("degree |vn|      mode=%d mean=%.2f mass[3,9]=%.3f\n", mode, deg.Mean(), deg.MassIn(3, 9))
+	fmt.Printf("close |cn|       mean=%.2f max=%.0f\n", cnSize.Mean(), cnSize.Max())
+	fmt.Printf("routes (%d)      mean=%.1f p50=%.0f p95=%.0f p99=%.0f max=%.0f in %v\n",
+		agg.N(), agg.Mean(), stats.Percentile(hops, 50), stats.Percentile(hops, 95),
+		stats.Percentile(hops, 99), agg.Max(), routeTime.Round(time.Millisecond))
+	fmt.Printf("protocol costs   greedySteps=%d joinRouteSteps=%d maintenance=%d fictive=%d joins=%d leaves=%d\n",
+		c.GreedySteps, c.JoinRouteSteps, c.MaintenanceMessages, c.FictiveInserts, c.Joins, c.Leaves)
+}
+
+func buildMode() string {
+	if *joins {
+		return "protocol joins"
+	}
+	return "direct inserts"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "voronet-sim:", err)
+	os.Exit(1)
+}

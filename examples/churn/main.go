@@ -1,0 +1,107 @@
+// Churn — objects joining and leaving while the overlay repairs itself
+// (§3.3, §4.2.2). The example tracks one object's long-range link while
+// its holder repeatedly leaves: the "back long range" pointer (BLRn) lets
+// the departing holder delegate the link to the new owner of the target
+// point, so the Kleinberg invariant — the long link always points at the
+// object owning the target's region — survives arbitrary churn.
+//
+//	go run ./examples/churn
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"voronet"
+)
+
+func main() {
+	ov := voronet.New(voronet.Config{NMax: 20000, Seed: 11})
+	rng := rand.New(rand.NewSource(12))
+	var ids []voronet.ObjectID
+	for ov.Len() < 2000 {
+		if id, err := ov.Insert(voronet.Pt(rng.Float64(), rng.Float64())); err == nil {
+			ids = append(ids, id)
+		}
+	}
+
+	// Pick an object whose long link points somewhere else.
+	var watched voronet.ObjectID = voronet.NoObject
+	for _, id := range ids {
+		ln, _ := ov.LongNeighbors(id)
+		if ln[0] != id {
+			watched = id
+			break
+		}
+	}
+	tgts, _ := ov.LongTargets(watched)
+	fmt.Printf("watching object %d; its long-link target is (%.3f, %.3f)\n\n", watched, tgts[0].X, tgts[0].Y)
+
+	// Kill the link holder five times in a row; the link must always move
+	// to the object now owning the target point.
+	for round := 1; round <= 5; round++ {
+		ln, _ := ov.LongNeighbors(watched)
+		holder := ln[0]
+		hp, _ := ov.Position(holder)
+		if err := ov.Remove(holder); err != nil {
+			log.Fatal(err)
+		}
+		ln2, _ := ov.LongNeighbors(watched)
+		np, _ := ov.Position(ln2[0])
+		trueOwner, _ := ov.Owner(tgts[0], watched)
+		status := "== owner ✓"
+		if ln2[0] != trueOwner {
+			status = fmt.Sprintf("!= owner %d ✗", trueOwner)
+		}
+		fmt.Printf("round %d: holder %d at (%.3f,%.3f) left -> link now %d at (%.3f,%.3f) %s\n",
+			round, holder, hp.X, hp.Y, ln2[0], np.X, np.Y, status)
+	}
+
+	// Heavy mixed churn with protocol joins, then a full invariant check
+	// via routing: every surviving pair must still be mutually reachable.
+	fmt.Println("\nrunning 1000 mixed join/leave events...")
+	live := map[voronet.ObjectID]bool{}
+	ov.ForEachObject(func(o *voronet.Object) bool { live[o.ID] = true; return true })
+	var liveIDs []voronet.ObjectID
+	for id := range live {
+		liveIDs = append(liveIDs, id)
+	}
+	for i := 0; i < 1000; i++ {
+		if rng.Float64() < 0.5 && len(liveIDs) > 100 {
+			k := rng.Intn(len(liveIDs))
+			id := liveIDs[k]
+			liveIDs[k] = liveIDs[len(liveIDs)-1]
+			liveIDs = liveIDs[:len(liveIDs)-1]
+			if err := ov.Remove(id); err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			id, err := ov.Join(voronet.Pt(rng.Float64(), rng.Float64()), liveIDs[rng.Intn(len(liveIDs))])
+			if err != nil {
+				if errors.Is(err, voronet.ErrDuplicate) {
+					continue
+				}
+				log.Fatal(err)
+			}
+			liveIDs = append(liveIDs, id)
+		}
+	}
+	worst := 0
+	for i := 0; i < 300; i++ {
+		a := liveIDs[rng.Intn(len(liveIDs))]
+		b := liveIDs[rng.Intn(len(liveIDs))]
+		h, err := ov.RouteToObject(a, b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if h > worst {
+			worst = h
+		}
+	}
+	c := ov.Counters()
+	fmt.Printf("after churn: %d objects, all 300 sampled routes arrived (worst %d hops)\n", ov.Len(), worst)
+	fmt.Printf("protocol costs: joins=%d leaves=%d joinRouteSteps=%d maintenanceMessages=%d fictiveInserts=%d\n",
+		c.Joins, c.Leaves, c.JoinRouteSteps, c.MaintenanceMessages, c.FictiveInserts)
+}

@@ -1,0 +1,85 @@
+// Quickstart: build a small VoroNet overlay, inspect an object's view
+// (Voronoi neighbours, close neighbours, long-range links), route between
+// objects and resolve point queries.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"voronet"
+)
+
+func main() {
+	// Provision the overlay for up to 10 000 objects; this fixes the
+	// close-neighbour radius dmin = 1/sqrt(pi*NMax) and the long-link
+	// length distribution.
+	ov := voronet.New(voronet.Config{NMax: 10000, Seed: 42})
+
+	// Objects are points of the unit attribute square: imagine a music
+	// catalogue indexed by (tempo, loudness), normalised to [0,1].
+	rng := rand.New(rand.NewSource(7))
+	var ids []voronet.ObjectID
+	for i := 0; i < 500; i++ {
+		id, err := ov.Insert(voronet.Pt(rng.Float64(), rng.Float64()))
+		if err != nil {
+			continue // duplicate attribute vector
+		}
+		ids = append(ids, id)
+	}
+	fmt.Printf("overlay holds %d objects (dmin = %.4f)\n\n", ov.Len(), ov.DMin())
+
+	// Inspect one object's view — the state a VoroNet peer maintains.
+	o := ids[0]
+	pos, _ := ov.Position(o)
+	vn, _ := ov.VoronoiNeighbors(o, nil)
+	cn, _ := ov.CloseNeighbors(o, nil)
+	ln, _ := ov.LongNeighbors(o)
+	lt, _ := ov.LongTargets(o)
+	fmt.Printf("object %d at (%.3f, %.3f):\n", o, pos.X, pos.Y)
+	fmt.Printf("  %d Voronoi neighbours (expected ~6): %v\n", len(vn), vn)
+	fmt.Printf("  %d close neighbours within dmin: %v\n", len(cn), cn)
+	for j, l := range ln {
+		lp, _ := ov.Position(l)
+		fmt.Printf("  long link %d -> object %d at (%.3f, %.3f), target was (%.3f, %.3f)\n",
+			j, l, lp.X, lp.Y, lt[j].X, lt[j].Y)
+	}
+
+	// Greedy routing between random objects: O(log^2 N) expected hops.
+	fmt.Println("\ngreedy routes:")
+	for i := 0; i < 5; i++ {
+		a := ids[rng.Intn(len(ids))]
+		b := ids[rng.Intn(len(ids))]
+		hops, err := ov.RouteToObject(a, b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pa, _ := ov.Position(a)
+		pb, _ := ov.Position(b)
+		fmt.Printf("  (%.2f,%.2f) -> (%.2f,%.2f): %d hops\n", pa.X, pa.Y, pb.X, pb.Y, hops)
+	}
+
+	// Point queries (Algorithm 4): who owns this part of the attribute
+	// space? "Find me the track closest to tempo .42, loudness .13."
+	q := voronet.Pt(0.42, 0.13)
+	res, err := ov.HandleQuery(ids[1], q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	op, _ := ov.Position(res.Owner)
+	fmt.Printf("\nquery (%.2f, %.2f): owner is object %d at (%.3f, %.3f), found in %d hops\n",
+		q.X, q.Y, res.Owner, op.X, op.Y, res.Hops)
+
+	// Leave: the overlay repairs itself (neighbour views and long links).
+	before := ov.Len()
+	if err := ov.Remove(res.Owner); err != nil {
+		log.Fatal(err)
+	}
+	owner2, _ := ov.Owner(q, ids[1])
+	p2, _ := ov.Position(owner2)
+	fmt.Printf("after it leaves (%d -> %d objects), the query resolves to object %d at (%.3f, %.3f)\n",
+		before, ov.Len(), owner2, p2.X, p2.Y)
+}

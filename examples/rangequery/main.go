@@ -1,0 +1,80 @@
+// Range and radius queries — the query mechanisms the paper motivates
+// VoroNet with (§1) and sketches as perspectives (§7). Because VoroNet
+// places objects at their attribute coordinates, "all objects with
+// attribute-1 in [lo,hi]" is a segment of the attribute space and "all
+// objects similar to X" is a disk around X; both resolve by routing to the
+// area and forwarding along Voronoi neighbours, without flooding the
+// network.
+//
+//	go run ./examples/rangequery
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"voronet"
+)
+
+func main() {
+	// A product catalogue: x = normalised price, y = normalised rating.
+	ov := voronet.New(voronet.Config{NMax: 20000, Seed: 9})
+	rng := rand.New(rand.NewSource(10))
+	var entry voronet.ObjectID = voronet.NoObject
+	for ov.Len() < 3000 {
+		// Prices cluster at the low end (power-law-ish), ratings are broad.
+		price := rng.Float64() * rng.Float64()
+		rating := 0.2 + 0.8*rng.Float64()
+		if id, err := ov.Insert(voronet.Pt(price, rating)); err == nil && entry == voronet.NoObject {
+			entry = id
+		}
+	}
+	fmt.Printf("catalogue: %d products\n\n", ov.Len())
+
+	// Range query on one attribute: products with rating ~0.9, any price —
+	// a horizontal segment of the attribute space.
+	a, b := voronet.Pt(0.0, 0.9), voronet.Pt(1.0, 0.9)
+	hits, st, err := ov.RangeQuery(entry, a, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("range query rating=0.9 (segment (0,0.9)-(1,0.9)):\n")
+	fmt.Printf("  %d regions intersect the segment; reached in %d hops, %d forwards\n",
+		len(hits), st.RouteHops, st.ForwardMessages)
+	for i, id := range hits[:min(5, len(hits))] {
+		p, _ := ov.Position(id)
+		fmt.Printf("  #%d object %d (price %.3f, rating %.3f)\n", i+1, id, p.X, p.Y)
+	}
+	if len(hits) > 5 {
+		fmt.Printf("  ... and %d more, ordered along the segment\n", len(hits)-5)
+	}
+
+	// Radius query: everything similar to a reference product.
+	centre := voronet.Pt(0.15, 0.85) // cheap and excellent
+	r := 0.08
+	similar, st2, err := ov.RadiusQuery(entry, centre, r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nradius query around (%.2f, %.2f), r=%.2f:\n", centre.X, centre.Y, r)
+	fmt.Printf("  %d products in the disk (visited %d regions, %d forwards)\n",
+		len(similar), st2.Visited, st2.ForwardMessages)
+	for i, id := range similar[:min(5, len(similar))] {
+		p, _ := ov.Position(id)
+		fmt.Printf("  #%d object %d at (%.3f, %.3f), distance %.3f\n",
+			i+1, id, p.X, p.Y, voronet.Dist(p, centre))
+	}
+
+	// Cost intuition: the work is proportional to the answer size plus the
+	// route, not to the overlay size.
+	fmt.Printf("\ntotal protocol cost: %d greedy steps over %d objects\n",
+		ov.Counters().GreedySteps, ov.Len())
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

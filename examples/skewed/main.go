@@ -1,0 +1,80 @@
+// Skewed data — the case VoroNet is designed for (§1: "copes with skewed
+// data distributions"). This example builds overlays under the paper's
+// power-law workloads (frequency of the i-th most popular attribute value
+// ∝ 1/i^α) and shows what the paper's Figures 5 and 6 show:
+//
+//   - the Voronoi degree distribution stays centred on 6 no matter how
+//     skewed the data is (a structural property of planar tessellations),
+//
+//   - greedy routing stays poly-logarithmic,
+//
+//   - and close neighbourhoods absorb the density: under α=5 most objects
+//     live in one giant cluster, where cn(o) is large and acts as a
+//     shortcut table that makes intra-cluster routes nearly free.
+//
+//     go run ./examples/skewed
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"voronet"
+	"voronet/internal/stats"
+	"voronet/internal/workload"
+)
+
+func main() {
+	const n = 8000
+	for _, alpha := range []float64{0, 1, 2, 5} {
+		rng := rand.New(rand.NewSource(5))
+		var src workload.Source
+		if alpha == 0 {
+			src = &workload.Uniform{Rand: rng}
+		} else {
+			src = workload.NewPowerLaw(alpha, rng)
+		}
+		ov := voronet.New(voronet.Config{NMax: n, Seed: 6})
+		for ov.Len() < n {
+			if _, err := ov.Insert(src.Next()); err != nil {
+				continue
+			}
+		}
+
+		deg := stats.NewHistogram()
+		var cnSize stats.Running
+		var buf []voronet.ObjectID
+		ov.ForEachObject(func(o *voronet.Object) bool {
+			d, _ := ov.Degree(o.ID)
+			deg.Add(d)
+			buf, _ = ov.CloseNeighbors(o.ID, buf)
+			cnSize.Add(float64(len(buf)))
+			return true
+		})
+
+		var hops stats.Running
+		measRng := rand.New(rand.NewSource(8))
+		for i := 0; i < 500; i++ {
+			a, _ := ov.RandomObject(measRng)
+			b, _ := ov.RandomObject(measRng)
+			if a == b {
+				continue
+			}
+			h, err := ov.RouteToObject(a, b)
+			if err != nil {
+				log.Fatal(err)
+			}
+			hops.Add(float64(h))
+		}
+
+		mode, _ := deg.Mode()
+		fmt.Printf("%-18s degree: mode=%d mean=%.2f  |cn|: mean=%.1f max=%.0f  routes: mean=%.1f max=%.0f\n",
+			src.Name(), mode, deg.Mean(), cnSize.Mean(), cnSize.Max(), hops.Mean(), hops.Max())
+	}
+
+	fmt.Println("\nNote how the degree column never moves while the cn column explodes")
+	fmt.Println("with skew: the tessellation degree is a structural invariant (Fig 5),")
+	fmt.Println("and the dense close neighbourhoods are exactly where routing gets its")
+	fmt.Println("intra-cluster shortcuts from (see EXPERIMENTS.md for the full story).")
+}

@@ -1,0 +1,78 @@
+// Visualize — render a VoroNet overlay as SVG: the Voronoi tessellation,
+// the object-to-object Delaunay edges, the Kleinberg long-range links and
+// one greedy route. This reproduces the paper's illustrative figures
+// (Figs 1–3) from live overlay state and is the fastest way to *see* what
+// the protocol maintains.
+//
+//	go run ./examples/visualize
+//	# writes overlay.svg and route.svg to the working directory
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"voronet"
+	"voronet/internal/core"
+	"voronet/internal/viz"
+	"voronet/internal/workload"
+)
+
+func main() {
+	ov := voronet.New(voronet.Config{NMax: 2000, Seed: 31})
+	rng := rand.New(rand.NewSource(32))
+	src := workload.NewClusters(4, 0.06, rng)
+	var ids []voronet.ObjectID
+	for len(ids) < 220 {
+		id, err := ov.Insert(src.Next())
+		if err != nil {
+			continue
+		}
+		ids = append(ids, id)
+	}
+
+	// Full overlay picture: tessellation + long links.
+	f, err := os.Create("overlay.svg")
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := viz.DefaultOptions()
+	opt.DrawLongLinks = true
+	opt.Title = fmt.Sprintf("VoroNet, %d clustered objects — %s", ov.Len(), viz.DegreeLegend(ov))
+	if err := viz.WriteSVG(f, ov, opt); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+
+	// One greedy route across the space.
+	var far core.ObjectID
+	best := 0.0
+	p0, _ := ov.Position(ids[0])
+	for _, id := range ids {
+		p, _ := ov.Position(id)
+		if d := voronet.Dist(p0, p); d > best {
+			best, far = d, id
+		}
+	}
+	path, err := viz.RoutePath(ov, ids[0], far)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f2, err := os.Create("route.svg")
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt2 := viz.DefaultOptions()
+	opt2.DrawVoronoi = false
+	opt2.DrawLongLinks = true
+	opt2.Route = path
+	opt2.Title = fmt.Sprintf("greedy route, %d hops over %d objects", len(path)-1, ov.Len())
+	if err := viz.WriteSVG(f2, ov, opt2); err != nil {
+		log.Fatal(err)
+	}
+	f2.Close()
+
+	fmt.Printf("wrote overlay.svg (%d objects) and route.svg (%d hops)\n", ov.Len(), len(path)-1)
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math"
+
+	"voronet/internal/geom"
+)
+
+// closeIndex is a uniform grid over the plane with cell width dmin, used to
+// answer close-neighbour queries (cn(o) = objects within dmin of o) in O(1)
+// expected time. It is the simulator's equivalent of the per-object cn sets
+// the distributed protocol maintains via Lemma 1; the two are
+// property-tested to agree.
+type closeIndex struct {
+	cell  float64
+	cells map[[2]int32][]gridEntry
+}
+
+type gridEntry struct {
+	id  ObjectID
+	pos geom.Point
+}
+
+func newCloseIndex(cell float64) *closeIndex {
+	if cell <= 0 {
+		cell = 1e-3
+	}
+	return &closeIndex{cell: cell, cells: make(map[[2]int32][]gridEntry)}
+}
+
+func (c *closeIndex) key(p geom.Point) [2]int32 {
+	return [2]int32{int32(math.Floor(p.X / c.cell)), int32(math.Floor(p.Y / c.cell))}
+}
+
+func (c *closeIndex) add(p geom.Point, id ObjectID) {
+	k := c.key(p)
+	c.cells[k] = append(c.cells[k], gridEntry{id: id, pos: p})
+}
+
+func (c *closeIndex) remove(p geom.Point, id ObjectID) {
+	k := c.key(p)
+	s := c.cells[k]
+	for i := range s {
+		if s[i].id == id {
+			s[i] = s[len(s)-1]
+			s = s[:len(s)-1]
+			break
+		}
+	}
+	if len(s) == 0 {
+		delete(c.cells, k)
+	} else {
+		c.cells[k] = s
+	}
+}
+
+// within appends to buf the IDs of all objects at distance <= r from p,
+// excluding exclude. The overlay always queries with r = dmin = the cell
+// width, so a 3×3 cell neighbourhood suffices.
+func (c *closeIndex) within(p geom.Point, r float64, exclude ObjectID, buf []ObjectID) []ObjectID {
+	buf = buf[:0]
+	k := c.key(p)
+	r2 := r * r
+	for dx := int32(-1); dx <= 1; dx++ {
+		for dy := int32(-1); dy <= 1; dy++ {
+			for _, e := range c.cells[[2]int32{k[0] + dx, k[1] + dy}] {
+				if e.id == exclude {
+					continue
+				}
+				if geom.Dist2(p, e.pos) <= r2 {
+					buf = append(buf, e.id)
+				}
+			}
+		}
+	}
+	return buf
+}
+
+// count returns the number of objects within r of p, excluding exclude.
+func (c *closeIndex) count(p geom.Point, r float64, exclude ObjectID) int {
+	k := c.key(p)
+	r2 := r * r
+	n := 0
+	for dx := int32(-1); dx <= 1; dx++ {
+		for dy := int32(-1); dy <= 1; dy++ {
+			for _, e := range c.cells[[2]int32{k[0] + dx, k[1] + dy}] {
+				if e.id != exclude && geom.Dist2(p, e.pos) <= r2 {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+
+	"voronet/internal/geom"
+)
+
+// This file implements the paper's second perspective (§7): dealing
+// dynamically with the maximal number of objects. "A first solution would
+// consist in having a background process estimating the overall number of
+// objects, increasing the value of Nmax by a certain factor if a threshold
+// is reached."
+//
+// The estimator is fully decentralized in spirit: each probe routes a
+// uniform random point to its owner and reads off the owner's region area
+// restricted to the unit square. A uniform point lands in region R_i with
+// probability area(R_i), so E[1/area] = Σ_i area(R_i)·(1/area(R_i)) = N
+// exactly — an unbiased size estimate obtained purely through routed
+// queries, no global knowledge. Median-of-means over probe groups tames
+// the heavy tail that tiny regions induce under skewed distributions.
+
+// EstimateSize estimates the number of objects from `probes` routed probes
+// using the caller's RNG. It needs a non-empty overlay with at least three
+// non-collinear objects (regions of a degenerate overlay are unbounded in
+// the square); smaller overlays return their exact size.
+func (o *Overlay) EstimateSize(probes int, rng *rand.Rand) (float64, error) {
+	if len(o.ids) == 0 {
+		return 0, ErrEmpty
+	}
+	if o.tr.Dimension() < 2 || probes < 1 {
+		return float64(len(o.ids)), nil
+	}
+	// Median of means over up to 8 groups.
+	groups := 8
+	if probes < groups {
+		groups = 1
+	}
+	per := probes / groups
+	means := make([]float64, 0, groups)
+	unit0 := geom.Pt(0, 0)
+	unit1 := geom.Pt(1, 1)
+	hint := o.ids[0]
+	for g := 0; g < groups; g++ {
+		sum := 0.0
+		n := 0
+		for i := 0; i < per; i++ {
+			p := geom.Pt(rng.Float64(), rng.Float64())
+			ownerV := o.tr.NearestSite(p, o.objs[hint].vert)
+			hint = o.byVertex[ownerV]
+			a := o.vor.CellAreaIn(ownerV, unit0, unit1)
+			if a <= 0 {
+				continue
+			}
+			sum += 1 / a
+			n++
+		}
+		if n > 0 {
+			means = append(means, sum/float64(n))
+		}
+	}
+	if len(means) == 0 {
+		return float64(len(o.ids)), nil
+	}
+	sort.Float64s(means)
+	return means[len(means)/2], nil
+}
+
+// AdaptNMax runs one round of the paper's dynamic-NMax loop: estimate the
+// overlay size from routed probes and, if the estimate exceeds the
+// provisioned NMax, grow it by growFactor (the paper's "increasing the
+// value of Nmax by a certain factor if a threshold is reached"), shrinking
+// dmin and re-drawing the long links of objects whose close neighbourhood
+// became denser than denseThreshold. It reports the new NMax and how many
+// objects were refreshed (0, NMax when no adaptation was needed).
+func (o *Overlay) AdaptNMax(probes int, growFactor float64, denseThreshold int, rng *rand.Rand) (newNMax, refreshed int, err error) {
+	est, err := o.EstimateSize(probes, rng)
+	if err != nil {
+		return o.cfg.NMax, 0, err
+	}
+	if est <= float64(o.cfg.NMax) {
+		return o.cfg.NMax, 0, nil
+	}
+	if growFactor < 1.1 {
+		growFactor = 2
+	}
+	target := int(est * growFactor)
+	refreshed = o.SetNMax(target, denseThreshold)
+	return o.cfg.NMax, refreshed, nil
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"voronet/internal/geom"
+	"voronet/internal/workload"
+)
+
+func TestEstimateSizeUniform(t *testing.T) {
+	o := newTestOverlay(10000)
+	rng := rand.New(rand.NewSource(301))
+	fill(t, o, &workload.Uniform{Rand: rng}, 2000)
+	est, err := o.EstimateSize(3000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-2000) > 0.25*2000 {
+		t.Fatalf("estimate %.0f for 2000 objects", est)
+	}
+}
+
+func TestEstimateSizeSkewed(t *testing.T) {
+	// The estimator stays order-of-magnitude correct under heavy skew
+	// (median-of-means vs the heavy 1/area tail).
+	o := newTestOverlay(10000)
+	rng := rand.New(rand.NewSource(302))
+	fill(t, o, workload.NewPowerLaw(2, rng), 1500)
+	est, err := o.EstimateSize(4000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est < 150 || est > 15000 {
+		t.Fatalf("estimate %.0f for 1500 skewed objects", est)
+	}
+}
+
+func TestEstimateSizeSmallOverlays(t *testing.T) {
+	o := newTestOverlay(100)
+	if _, err := o.EstimateSize(10, rand.New(rand.NewSource(1))); err != ErrEmpty {
+		t.Fatalf("empty overlay: %v", err)
+	}
+	// Collinear overlay: exact count fallback.
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		if _, err := o.Insert(geom.Pt(x, 0.5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	est, err := o.EstimateSize(10, rand.New(rand.NewSource(2)))
+	if err != nil || est != 3 {
+		t.Fatalf("degenerate overlay estimate: %v %v", est, err)
+	}
+}
+
+func TestAdaptNMaxGrowsWhenOverloaded(t *testing.T) {
+	// Provision for 200 objects, insert 2000: AdaptNMax must detect the
+	// overload, raise NMax past the true size, and refresh dense
+	// neighbourhoods.
+	o := New(Config{NMax: 200, Seed: 303})
+	rng := rand.New(rand.NewSource(304))
+	fill(t, o, &workload.Uniform{Rand: rng}, 2000)
+	oldDMin := o.DMin()
+	newNMax, refreshed, err := o.AdaptNMax(2000, 2, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newNMax < 2000 {
+		t.Fatalf("NMax %d still below the true size", newNMax)
+	}
+	if o.DMin() >= oldDMin {
+		t.Fatal("dmin did not shrink")
+	}
+	if refreshed == 0 {
+		t.Fatal("no dense neighbourhood refreshed despite 10x overload")
+	}
+	if err := o.CheckInvariants(true); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second round is a no-op (the estimate is within provisioning).
+	n2, r2, err := o.AdaptNMax(1000, 2, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 != newNMax || r2 != 0 {
+		t.Fatalf("second adaptation should be a no-op: %d %d", n2, r2)
+	}
+}

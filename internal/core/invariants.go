@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+
+	"voronet/internal/delaunay"
+	"voronet/internal/geom"
+)
+
+// CheckInvariants validates the complete overlay state. With deep=true it
+// additionally verifies the long-link ownership invariant against the
+// ground-truth tessellation (O(n) nearest-site queries). Intended for
+// tests; returns the first violation.
+//
+// Invariants:
+//
+//  1. the underlying triangulation is a valid Delaunay triangulation;
+//  2. object/vertex/id bookkeeping is bijective and consistent;
+//  3. every object has exactly Config.LongLinks long links (unless
+//     disabled), each registered in its holder's BLRn set;
+//  4. every BLRn entry points back to an object whose corresponding long
+//     link names the holder;
+//  5. deep: LRn_j(w) is exactly the object owning the region containing
+//     LRt_j(w) — the paper's long-link placement invariant ("the object in
+//     charge of the target of the long range link is always the closest
+//     from the target point", §3.3);
+//  6. the close-neighbour index agrees with Lemma 1's local computation.
+func (o *Overlay) CheckInvariants(deep bool) error {
+	if err := o.tr.Validate(); err != nil {
+		return fmt.Errorf("triangulation: %w", err)
+	}
+	if len(o.objs) != len(o.ids) || len(o.objs) != len(o.byVertex) || len(o.objs) != len(o.idPos) {
+		return fmt.Errorf("bookkeeping sizes diverge: objs=%d ids=%d byVertex=%d idPos=%d",
+			len(o.objs), len(o.ids), len(o.byVertex), len(o.idPos))
+	}
+	if o.tr.NumSites() != len(o.objs) {
+		return fmt.Errorf("triangulation has %d sites for %d objects", o.tr.NumSites(), len(o.objs))
+	}
+	for i, id := range o.ids {
+		obj := o.objs[id]
+		if obj == nil {
+			return fmt.Errorf("ids[%d]=%d has no object", i, id)
+		}
+		if o.idPos[id] != i {
+			return fmt.Errorf("idPos[%d]=%d, want %d", id, o.idPos[id], i)
+		}
+		if o.byVertex[obj.vert] != id {
+			return fmt.Errorf("byVertex[%d]=%d, want %d", obj.vert, o.byVertex[obj.vert], id)
+		}
+		if !o.tr.Alive(obj.vert) {
+			return fmt.Errorf("object %d references dead vertex %d", id, obj.vert)
+		}
+		if o.tr.Point(obj.vert) != obj.Pos {
+			return fmt.Errorf("object %d position diverges from its site", id)
+		}
+	}
+
+	// Long links and BLRn cross-consistency.
+	for _, id := range o.ids {
+		obj := o.objs[id]
+		if !o.cfg.DisableLongLinks && len(obj.longNbrs) != o.cfg.LongLinks {
+			return fmt.Errorf("object %d has %d long links, want %d", id, len(obj.longNbrs), o.cfg.LongLinks)
+		}
+		for j, nid := range obj.longNbrs {
+			if nid == NoObject {
+				continue // legitimately orphaned (overlay emptied past it)
+			}
+			holder := o.objs[nid]
+			if holder == nil {
+				return fmt.Errorf("object %d long link %d names dead object %d", id, j, nid)
+			}
+			found := false
+			for _, ref := range holder.back {
+				if ref.Obj == id && ref.Link == j {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("object %d long link %d not registered in BLRn(%d)", id, j, nid)
+			}
+		}
+		for _, ref := range obj.back {
+			w := o.objs[ref.Obj]
+			if w == nil {
+				return fmt.Errorf("BLRn(%d) references dead object %d", id, ref.Obj)
+			}
+			if ref.Link >= len(w.longNbrs) || w.longNbrs[ref.Link] != id {
+				return fmt.Errorf("BLRn(%d) entry (%d,%d) not mirrored", id, ref.Obj, ref.Link)
+			}
+		}
+	}
+
+	if deep {
+		for _, id := range o.ids {
+			obj := o.objs[id]
+			for j, tgt := range obj.longTargets {
+				ownerV := o.tr.NearestSite(tgt, obj.vert)
+				want := o.byVertex[ownerV]
+				got := obj.longNbrs[j]
+				if got != want && !o.equidistantOwners(tgt, got, want) {
+					return fmt.Errorf("object %d long link %d points to %d, owner is %d", id, j, got, want)
+				}
+			}
+		}
+		// Lemma 1 agreement on a sample of objects (all of them when small).
+		for i, id := range o.ids {
+			if len(o.ids) > 500 && i%97 != 0 {
+				continue
+			}
+			if err := o.checkLemma1(id); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// equidistantOwners reports whether a and b are both at minimal distance
+// from tgt (ties on region boundaries make the owner ambiguous; either
+// choice is a correct "closest object").
+func (o *Overlay) equidistantOwners(tgt geom.Point, a, b ObjectID) bool {
+	oa, ob := o.objs[a], o.objs[b]
+	if oa == nil || ob == nil {
+		return false
+	}
+	return geom.Dist2(oa.Pos, tgt) == geom.Dist2(ob.Pos, tgt)
+}
+
+// CloseNeighborsLemma1 computes cn(id) the way the distributed protocol
+// does after Lemma 1: every close neighbour of a freshly inserted object is
+// either one of its Voronoi neighbours or a close neighbour of one of them.
+// The simulator's grid index must agree exactly; tests enforce this.
+func (o *Overlay) CloseNeighborsLemma1(id ObjectID) ([]ObjectID, error) {
+	obj := o.objs[id]
+	if obj == nil {
+		return nil, ErrNotFound
+	}
+	seen := map[ObjectID]bool{id: true}
+	var out []ObjectID
+	consider := func(cid ObjectID) {
+		if seen[cid] {
+			return
+		}
+		seen[cid] = true
+		if geom.Dist(o.objs[cid].Pos, obj.Pos) <= o.dmin {
+			out = append(out, cid)
+		}
+	}
+	var vbuf []delaunay.VertexID
+	vbuf = o.tr.Neighbors(obj.vert, vbuf)
+	var cbuf []ObjectID
+	for _, v := range vbuf {
+		nid := o.byVertex[v]
+		consider(nid)
+		// Close neighbours of the Voronoi neighbour.
+		cbuf = o.grid.within(o.objs[nid].Pos, o.dmin, nid, cbuf)
+		for _, cid := range cbuf {
+			consider(cid)
+		}
+	}
+	return out, nil
+}
+
+func (o *Overlay) checkLemma1(id ObjectID) error {
+	viaLemma, err := o.CloseNeighborsLemma1(id)
+	if err != nil {
+		return err
+	}
+	direct, err := o.CloseNeighbors(id, nil)
+	if err != nil {
+		return err
+	}
+	if len(viaLemma) != len(direct) {
+		return fmt.Errorf("Lemma 1 computation for %d yields %d close neighbours, grid yields %d",
+			id, len(viaLemma), len(direct))
+	}
+	set := make(map[ObjectID]bool, len(direct))
+	for _, d := range direct {
+		set[d] = true
+	}
+	for _, l := range viaLemma {
+		if !set[l] {
+			return fmt.Errorf("Lemma 1 found %d not in grid answer for %d", l, id)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,500 @@
+// Package core implements the VoroNet overlay (Beaumont, Kermarrec,
+// Marchal, Rivière — IPDPS 2007 / INRIA RR-5833): an object-to-object
+// peer-to-peer network in which objects live at their attribute coordinates
+// in the unit square, are linked to their Voronoi neighbours, to the
+// objects within distance dmin (close neighbours) and to k long-range
+// neighbours drawn from Kleinberg's harmonic distribution generalised to
+// arbitrary object distributions.
+//
+// The package is the simulation engine the paper's own evaluation uses: a
+// single process holds the ground-truth Voronoi tessellation (which the
+// distributed protocol maintains collectively) together with every
+// object's view — vn(o), cn(o), LRn(o), BLRn(o) — and it accounts protocol
+// costs (Greedyneighbour calls, maintenance messages) exactly as specified
+// by Algorithms 1–5. The genuinely message-passing per-node realisation of
+// the same protocol lives in internal/node.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"voronet/internal/delaunay"
+	"voronet/internal/geom"
+	"voronet/internal/voronoi"
+)
+
+// ObjectID identifies an object in the overlay. IDs are never reused.
+type ObjectID int64
+
+// NoObject is the invalid object ID.
+const NoObject ObjectID = -1
+
+// Errors returned by overlay operations.
+var (
+	// ErrDuplicate reports an object inserted at an occupied position.
+	ErrDuplicate = errors.New("voronet: an object already occupies this position")
+	// ErrNotFound reports an operation on an unknown object.
+	ErrNotFound = errors.New("voronet: no such object")
+	// ErrEmpty reports an operation that needs a non-empty overlay.
+	ErrEmpty = errors.New("voronet: overlay is empty")
+)
+
+// Config parameterises an overlay.
+type Config struct {
+	// NMax is the maximum number of objects the overlay is provisioned
+	// for. The paper assumes it is known a priori (§3); it determines dmin
+	// and the long-link length distribution. Required.
+	NMax int
+	// LongLinks is the number of long-range neighbours per object
+	// (k in Fig 8). Default 1, the paper's basic setting.
+	LongLinks int
+	// DMin overrides the close-neighbour radius. Default 1/√(π·NMax),
+	// the value that makes E[|cn(o)|] ≤ 1 under a near-uniform
+	// distribution (§4.1; see DESIGN.md for the paper's typo).
+	DMin float64
+	// LongLinkExponent is the exponent s of the link-length distribution
+	// Pr[length ∈ dr] ∝ r^(1-s)·dr. The paper (and Kleinberg's theorem for
+	// 2-D) uses s = 2, realised by Choose-LRT's log-uniform radius.
+	// Other values are exposed for the ablation study.
+	//
+	// The zero value selects the paper's s = 2; to ablate the
+	// area-uniform regime ("s = 0") pass a small positive epsilon such as
+	// 0.01, which is indistinguishable from 0 in distribution.
+	LongLinkExponent float64
+	// Seed seeds the overlay's private RNG (long-link targets).
+	Seed int64
+	// DisableCloseNeighbours removes cn(o) from routing (ablation A1).
+	DisableCloseNeighbours bool
+	// DisableLongLinks removes LRn(o) from the overlay entirely
+	// (ablation A2: pure Delaunay greedy routing).
+	DisableLongLinks bool
+	// InteriorTargets redraws each long-link target until it falls inside
+	// the unit square. The paper allows LRt outside [0,1]² (§4.3.2), but
+	// exterior targets pile up in the regions of the few boundary
+	// objects, whose BLRn sets then grow with N and drag per-join
+	// maintenance up with them (every routed operation near the hull
+	// shuffles the pile through its fictive objects). Conditioning the
+	// target distribution on the square restores O(1) BLRn sets and O(1)
+	// maintenance without measurably changing routing. Off by default for
+	// paper fidelity; see EXPERIMENTS.md ("maintenance costs").
+	InteriorTargets bool
+}
+
+// DefaultDMin returns the paper's close-neighbour radius for a given NMax:
+// the dmin with π·dmin²·NMax = 1.
+func DefaultDMin(nmax int) float64 {
+	return 1 / math.Sqrt(math.Pi*float64(nmax))
+}
+
+// Object is an overlay object together with its protocol state (its "view"
+// in the paper's terms). Fields are managed by the Overlay; read-only for
+// callers.
+type Object struct {
+	ID  ObjectID
+	Pos geom.Point
+
+	vert delaunay.VertexID
+	// longTargets[j] is LRt_j: the target point of the j-th long link,
+	// fixed at join time (Algorithm 3).
+	longTargets []geom.Point
+	// longNbrs[j] is LRn_j: the object currently owning the Voronoi region
+	// of longTargets[j].
+	longNbrs []ObjectID
+	// back is BLRn: the (object, link) pairs whose target lies in this
+	// object's region. Used only for long-link repair, never for routing.
+	back []BackRef
+}
+
+// BackRef identifies one long link of one object (BLRn entry).
+type BackRef struct {
+	Obj  ObjectID
+	Link int
+}
+
+// Counters accounts protocol costs in the paper's own units.
+type Counters struct {
+	// GreedySteps counts Greedyneighbour invocations (routing hops).
+	GreedySteps uint64
+	// JoinRouteSteps counts the routing hops spent by AddObject and
+	// SearchLongLink (a subset of GreedySteps).
+	JoinRouteSteps uint64
+	// MaintenanceMessages counts messages exchanged by AddVoronoiRegion /
+	// RemoveVoronoiRegion (O(|vn|) each, §4.2).
+	MaintenanceMessages uint64
+	// FictiveInserts counts fictive-object insertions (the z and Target
+	// objects of Algorithms 1, 2, 4, inserted and removed again).
+	FictiveInserts uint64
+	// Joins, Leaves, Queries count completed operations.
+	Joins   uint64
+	Leaves  uint64
+	Queries uint64
+}
+
+// Overlay is a VoroNet overlay.
+type Overlay struct {
+	cfg  Config
+	dmin float64
+	rng  *rand.Rand
+
+	tr  *delaunay.Triangulation
+	vor *voronoi.Diagram
+
+	objs     map[ObjectID]*Object
+	byVertex map[delaunay.VertexID]ObjectID
+	ids      []ObjectID       // live IDs, for O(1) random sampling
+	idPos    map[ObjectID]int // position of each ID in ids
+	nextID   ObjectID
+
+	grid *closeIndex
+
+	counters Counters
+
+	nbuf []delaunay.VertexID // scratch
+	cbuf []ObjectID          // scratch
+}
+
+// New creates an empty overlay. It panics if cfg.NMax <= 0.
+func New(cfg Config) *Overlay {
+	if cfg.NMax <= 0 {
+		panic("voronet: Config.NMax must be positive")
+	}
+	if cfg.LongLinks <= 0 {
+		cfg.LongLinks = 1
+	}
+	if cfg.LongLinkExponent == 0 {
+		cfg.LongLinkExponent = 2
+	}
+	dmin := cfg.DMin
+	if dmin <= 0 {
+		dmin = DefaultDMin(cfg.NMax)
+	}
+	tr := delaunay.New()
+	o := &Overlay{
+		cfg:      cfg,
+		dmin:     dmin,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		tr:       tr,
+		vor:      voronoi.New(tr),
+		objs:     make(map[ObjectID]*Object),
+		byVertex: make(map[delaunay.VertexID]ObjectID),
+		idPos:    make(map[ObjectID]int),
+		grid:     newCloseIndex(dmin),
+	}
+	return o
+}
+
+// Len returns the number of objects in the overlay.
+func (o *Overlay) Len() int { return len(o.ids) }
+
+// DMin returns the close-neighbour radius in force.
+func (o *Overlay) DMin() float64 { return o.dmin }
+
+// Config returns the overlay's configuration.
+func (o *Overlay) Config() Config { return o.cfg }
+
+// Counters returns a snapshot of the protocol cost counters.
+func (o *Overlay) Counters() Counters { return o.counters }
+
+// ResetCounters zeroes the protocol cost counters.
+func (o *Overlay) ResetCounters() { o.counters = Counters{} }
+
+// Object returns the object record for id, or nil.
+func (o *Overlay) Object(id ObjectID) *Object { return o.objs[id] }
+
+// Position returns the position of object id.
+func (o *Overlay) Position(id ObjectID) (geom.Point, error) {
+	obj := o.objs[id]
+	if obj == nil {
+		return geom.Point{}, ErrNotFound
+	}
+	return obj.Pos, nil
+}
+
+// RandomObject returns a uniformly random live object ID using the
+// caller's RNG (so experiments control their own determinism).
+func (o *Overlay) RandomObject(rng *rand.Rand) (ObjectID, error) {
+	if len(o.ids) == 0 {
+		return NoObject, ErrEmpty
+	}
+	return o.ids[rng.Intn(len(o.ids))], nil
+}
+
+// ForEachObject calls fn for every object until it returns false.
+func (o *Overlay) ForEachObject(fn func(*Object) bool) {
+	for _, id := range o.ids {
+		if !fn(o.objs[id]) {
+			return
+		}
+	}
+}
+
+// VoronoiNeighbors appends the Voronoi-neighbour view vn(o) of object id to
+// buf. This is the set whose size Fig 5 histograms.
+func (o *Overlay) VoronoiNeighbors(id ObjectID, buf []ObjectID) ([]ObjectID, error) {
+	obj := o.objs[id]
+	if obj == nil {
+		return buf[:0], ErrNotFound
+	}
+	buf = buf[:0]
+	o.nbuf = o.tr.Neighbors(obj.vert, o.nbuf)
+	for _, v := range o.nbuf {
+		buf = append(buf, o.byVertex[v])
+	}
+	return buf, nil
+}
+
+// CloseNeighbors appends the close-neighbour view cn(o) — objects within
+// dmin, excluding id itself — to buf.
+func (o *Overlay) CloseNeighbors(id ObjectID, buf []ObjectID) ([]ObjectID, error) {
+	obj := o.objs[id]
+	if obj == nil {
+		return buf[:0], ErrNotFound
+	}
+	return o.grid.within(obj.Pos, o.dmin, id, buf), nil
+}
+
+// LongNeighbors returns the long-range view LRn(o): one entry per long
+// link. The returned slice aliases internal state; do not modify.
+func (o *Overlay) LongNeighbors(id ObjectID) ([]ObjectID, error) {
+	obj := o.objs[id]
+	if obj == nil {
+		return nil, ErrNotFound
+	}
+	return obj.longNbrs, nil
+}
+
+// LongTargets returns the fixed long-link target points LRt(o).
+func (o *Overlay) LongTargets(id ObjectID) ([]geom.Point, error) {
+	obj := o.objs[id]
+	if obj == nil {
+		return nil, ErrNotFound
+	}
+	return obj.longTargets, nil
+}
+
+// BackLongRange returns the BLRn(o) view.
+func (o *Overlay) BackLongRange(id ObjectID) ([]BackRef, error) {
+	obj := o.objs[id]
+	if obj == nil {
+		return nil, ErrNotFound
+	}
+	return obj.back, nil
+}
+
+// Cell returns object id's Voronoi region as a convex counterclockwise
+// polygon (unbounded hull cells are clipped to a large box). The slice is
+// freshly allocated. Returns nil for unknown objects or degenerate
+// (dimension < 2) overlays.
+func (o *Overlay) Cell(id ObjectID) []geom.Point {
+	obj := o.objs[id]
+	if obj == nil || o.tr.Dimension() < 2 {
+		return nil
+	}
+	return append([]geom.Point(nil), o.vor.Cell(obj.vert)...)
+}
+
+// DistanceToRegion returns the point of R(id) closest to p and its
+// distance — the paper's DistanceToRegion primitive (§4.2.3).
+func (o *Overlay) DistanceToRegion(id ObjectID, p geom.Point) (geom.Point, float64, error) {
+	obj := o.objs[id]
+	if obj == nil {
+		return geom.Point{}, 0, ErrNotFound
+	}
+	z, d := o.fictiveSite(obj, p)
+	if o.tr.Dimension() >= 2 {
+		z, d = o.vor.DistanceToRegion(obj.vert, p)
+	}
+	return z, d, nil
+}
+
+// Degree returns |vn(o)|.
+func (o *Overlay) Degree(id ObjectID) (int, error) {
+	obj := o.objs[id]
+	if obj == nil {
+		return 0, ErrNotFound
+	}
+	return o.tr.Degree(obj.vert), nil
+}
+
+// Owner returns the object whose Voronoi region contains p — the paper's
+// Obj(p) — resolved against the ground-truth tessellation. hint
+// accelerates the lookup.
+func (o *Overlay) Owner(p geom.Point, hint ObjectID) (ObjectID, error) {
+	if len(o.ids) == 0 {
+		return NoObject, ErrEmpty
+	}
+	h := delaunay.NoVertex
+	if obj := o.objs[hint]; obj != nil {
+		h = obj.vert
+	}
+	v := o.tr.NearestSite(p, h)
+	return o.byVertex[v], nil
+}
+
+// Insert adds an object at p directly against the shared substrate: the
+// structural result (tessellation, close neighbourhoods, long-link
+// distribution and repair) is identical to a protocol Join, without the
+// routing cost accounting. The figure harness uses Insert to build large
+// overlays; Join exercises and accounts the full Algorithm 1 path.
+func (o *Overlay) Insert(p geom.Point) (ObjectID, error) {
+	return o.insert(p, delaunay.NoVertex)
+}
+
+// insertMode selects how much of AddVoronoiRegion an insertion performs.
+type insertMode int
+
+const (
+	// modeFull: a regular object — BLRn exchange and long links.
+	modeFull insertMode = iota
+	// modeJoining: a real object inserted by Join; the BLRn exchange runs
+	// but long links are established separately through Algorithm 2.
+	modeJoining
+	// modeFictive: a fictive object of Algorithms 1, 2, 4 — no long links
+	// of its own. It still performs the BLRn exchange: the exchange is
+	// load-bearing for the exact ownership invariant (a fictive object
+	// wedged between an entry's holder and a newly inserted real object
+	// would otherwise hide the transfer), and its removal re-delegates
+	// every entry to the true owner.
+	modeFictive
+)
+
+func (o *Overlay) insert(p geom.Point, hint delaunay.VertexID) (ObjectID, error) {
+	return o.insertCore(p, hint, modeFull)
+}
+
+// insertCore adds an object at p according to mode.
+func (o *Overlay) insertCore(p geom.Point, hint delaunay.VertexID, mode insertMode) (ObjectID, error) {
+	v, err := o.tr.Insert(p, hint)
+	if err != nil {
+		if errors.Is(err, delaunay.ErrDuplicate) {
+			return NoObject, ErrDuplicate
+		}
+		return NoObject, fmt.Errorf("voronet: insert: %w", err)
+	}
+	id := o.nextID
+	o.nextID++
+	obj := &Object{ID: id, Pos: p, vert: v}
+	o.objs[id] = obj
+	o.byVertex[v] = id
+	o.idPos[id] = len(o.ids)
+	o.ids = append(o.ids, id)
+	o.grid.add(p, id)
+
+	// Take over the back long-range links whose targets now fall in R(p):
+	// each new Voronoi neighbour hands over the BLRn entries that are
+	// closer to p than to it (§4.2.1). The exchange preserves the exact
+	// invariant LRn_j(w) = Obj(LRt_j(w)).
+	o.nbuf = o.tr.Neighbors(v, o.nbuf)
+	for _, nv := range o.nbuf {
+		nid := o.byVertex[nv]
+		nb := o.objs[nid]
+		kept := nb.back[:0]
+		for _, ref := range nb.back {
+			w := o.objs[ref.Obj]
+			tgt := w.longTargets[ref.Link]
+			if geom.Dist2(p, tgt) < geom.Dist2(nb.Pos, tgt) {
+				w.longNbrs[ref.Link] = id
+				obj.back = append(obj.back, ref)
+			} else {
+				kept = append(kept, ref)
+			}
+		}
+		nb.back = kept
+	}
+
+	// Choose the long-link targets and resolve their owners directly
+	// against the tessellation (structurally identical to the routed
+	// SearchLongLink used by Join).
+	if mode == modeFull && !o.cfg.DisableLongLinks {
+		for j := 0; j < o.cfg.LongLinks; j++ {
+			tgt := o.chooseLRT(p)
+			obj.longTargets = append(obj.longTargets, tgt)
+			ownerV := o.tr.NearestSite(tgt, v)
+			ownerID := o.byVertex[ownerV]
+			obj.longNbrs = append(obj.longNbrs, ownerID)
+			o.objs[ownerID].back = append(o.objs[ownerID].back, BackRef{Obj: id, Link: j})
+		}
+	}
+	return id, nil
+}
+
+// Remove deletes object id and repairs the overlay per §4.2.2
+// (RemoveVoronoiRegion): neighbours recompute the tessellation, close
+// neighbours are informed, and every BLRn entry is delegated to the Voronoi
+// neighbour closest to its target, which is exactly the new owner of the
+// target point.
+func (o *Overlay) Remove(id ObjectID) error {
+	obj := o.objs[id]
+	if obj == nil {
+		return ErrNotFound
+	}
+
+	// Collect the Voronoi neighbours before surgery.
+	o.nbuf = o.tr.Neighbors(obj.vert, o.nbuf)
+	nbrs := append([]delaunay.VertexID(nil), o.nbuf...)
+	o.counters.MaintenanceMessages += uint64(len(nbrs))
+
+	// Delegate BLRn entries to the closest Voronoi neighbour.
+	for _, ref := range obj.back {
+		if ref.Obj == id {
+			continue // our own self-link dies with us
+		}
+		w := o.objs[ref.Obj]
+		tgt := w.longTargets[ref.Link]
+		best := NoObject
+		bestD := math.Inf(1)
+		for _, nv := range nbrs {
+			nid := o.byVertex[nv]
+			if d := geom.Dist2(o.objs[nid].Pos, tgt); d < bestD {
+				best, bestD = nid, d
+			}
+		}
+		if best == NoObject {
+			// Last object leaving: the link cannot be repaired; drop it.
+			w.longNbrs[ref.Link] = NoObject
+			continue
+		}
+		w.longNbrs[ref.Link] = best
+		o.objs[best].back = append(o.objs[best].back, ref)
+		o.counters.MaintenanceMessages += 2 // inform z and y (§4.2.2)
+	}
+	obj.back = nil
+
+	// Withdraw our own long links from their holders' BLRn sets.
+	for j, nid := range obj.longNbrs {
+		if nid == id || nid == NoObject {
+			continue
+		}
+		holder := o.objs[nid]
+		for i, ref := range holder.back {
+			if ref.Obj == id && ref.Link == j {
+				holder.back[i] = holder.back[len(holder.back)-1]
+				holder.back = holder.back[:len(holder.back)-1]
+				break
+			}
+		}
+		o.counters.MaintenanceMessages++
+	}
+
+	// Close neighbours learn of the departure (§4.2.2).
+	o.cbuf = o.grid.within(obj.Pos, o.dmin, id, o.cbuf)
+	o.counters.MaintenanceMessages += uint64(len(o.cbuf))
+
+	if err := o.tr.Remove(obj.vert); err != nil {
+		return fmt.Errorf("voronet: remove: %w", err)
+	}
+	o.grid.remove(obj.Pos, id)
+	delete(o.byVertex, obj.vert)
+	delete(o.objs, id)
+	pos := o.idPos[id]
+	last := len(o.ids) - 1
+	o.ids[pos] = o.ids[last]
+	o.idPos[o.ids[pos]] = pos
+	o.ids = o.ids[:last]
+	delete(o.idPos, id)
+	o.counters.Leaves++
+	return nil
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"sort"
+
+	"voronet/internal/geom"
+)
+
+// This file implements the richer query mechanisms the paper sketches as
+// perspectives (§7): range queries along a segment of the attribute space
+// and radius (disk) queries, both resolved by local forwarding over the
+// tessellation, plus the dynamic-NMax adaptation sketch.
+
+// QueryStats accounts the cost of a multi-object query.
+type QueryStats struct {
+	// RouteHops is the greedy hop count to reach the query area.
+	RouteHops int
+	// ForwardMessages is the number of forwarding messages inside the
+	// query area (one per visited object beyond the first).
+	ForwardMessages int
+	// Visited is the number of objects that processed the query.
+	Visited int
+}
+
+// RangeQuery returns the objects whose Voronoi region intersects the
+// segment [a, b] — the paper's one-attribute range query, "represented as a
+// segment in the unit square ... reached easily by forwarding the query
+// along this line" (§7). Results are ordered by projection onto the
+// segment. from is the query's introduction object.
+func (o *Overlay) RangeQuery(from ObjectID, a, b geom.Point) ([]ObjectID, QueryStats, error) {
+	var st QueryStats
+	if o.objs[from] == nil {
+		return nil, st, ErrNotFound
+	}
+	if len(o.ids) == 0 {
+		return nil, st, ErrEmpty
+	}
+	// Route to the owner of the segment start.
+	res, err := o.RouteToPoint(from, a)
+	if err != nil {
+		return nil, st, err
+	}
+	st.RouteHops = res.Hops
+
+	// Flood along the segment: starting from the owner of a, visit every
+	// object whose region intersects [a, b]; the set of such regions is
+	// connected, so neighbour forwarding covers it.
+	inQuery := func(id ObjectID) bool {
+		obj := o.objs[id]
+		if o.tr.Dimension() < 2 {
+			// Degenerate overlay (≤2 objects or all collinear): an object
+			// serves the query iff it owns the segment point nearest to it.
+			q := geom.ClosestPointOnSegment(obj.Pos, a, b)
+			return o.ownerIs(q, id)
+		}
+		return o.regionIntersectsSegment(obj, a, b)
+	}
+
+	visited := map[ObjectID]bool{}
+	var queue []ObjectID
+	var result []ObjectID
+	push := func(id ObjectID) {
+		if !visited[id] {
+			visited[id] = true
+			queue = append(queue, id)
+		}
+	}
+	push(res.Owner)
+	for len(queue) > 0 {
+		id := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if !inQuery(id) {
+			continue
+		}
+		result = append(result, id)
+		st.Visited++
+		vn, _ := o.VoronoiNeighbors(id, nil)
+		for _, nid := range vn {
+			if !visited[nid] {
+				st.ForwardMessages++
+				push(nid)
+			}
+		}
+	}
+	// Order results along the segment.
+	dir := b.Sub(a)
+	sort.Slice(result, func(i, j int) bool {
+		pi := o.objs[result[i]].Pos.Sub(a).Dot(dir)
+		pj := o.objs[result[j]].Pos.Sub(a).Dot(dir)
+		return pi < pj
+	})
+	return result, st, nil
+}
+
+func (o *Overlay) ownerIs(p geom.Point, id ObjectID) bool {
+	obj := o.objs[id]
+	dp := geom.Dist2(p, obj.Pos)
+	for _, other := range o.ids {
+		if geom.Dist2(p, o.objs[other].Pos) < dp {
+			return false
+		}
+	}
+	return true
+}
+
+// regionIntersectsSegment reports whether R(obj) meets segment [a, b].
+func (o *Overlay) regionIntersectsSegment(obj *Object, a, b geom.Point) bool {
+	// Quick accept: the object's site projects onto the segment within its
+	// own region.
+	q := geom.ClosestPointOnSegment(obj.Pos, a, b)
+	if o.vor.Contains(obj.vert, q) {
+		return true
+	}
+	// Exact test via the cell polygon.
+	return geom.ConvexPolygonIntersectsSegment(o.vor.Cell(obj.vert), a, b)
+}
+
+// RadiusQuery returns the objects within distance r of centre — the
+// paper's "radius query, where all objects in a given disk are queried"
+// (§7). The query floods outward from the owner of the centre through
+// every object whose region intersects the disk, which is exactly the
+// connected set DistanceToRegion ≤ r.
+func (o *Overlay) RadiusQuery(from ObjectID, centre geom.Point, r float64) ([]ObjectID, QueryStats, error) {
+	var st QueryStats
+	if o.objs[from] == nil {
+		return nil, st, ErrNotFound
+	}
+	res, err := o.RouteToPoint(from, centre)
+	if err != nil {
+		return nil, st, err
+	}
+	st.RouteHops = res.Hops
+
+	visited := map[ObjectID]bool{}
+	var queue []ObjectID
+	var result []ObjectID
+	push := func(id ObjectID) {
+		if !visited[id] {
+			visited[id] = true
+			queue = append(queue, id)
+		}
+	}
+	push(res.Owner)
+	for len(queue) > 0 {
+		id := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		obj := o.objs[id]
+		intersects := false
+		if o.tr.Dimension() < 2 {
+			intersects = geom.Dist(obj.Pos, centre) <= r || o.ownerIs(centre, id)
+		} else {
+			_, dist := o.vor.DistanceToRegion(obj.vert, centre)
+			intersects = dist <= r
+		}
+		if !intersects {
+			continue
+		}
+		st.Visited++
+		if geom.Dist(obj.Pos, centre) <= r {
+			result = append(result, id)
+		}
+		vn, _ := o.VoronoiNeighbors(id, nil)
+		for _, nid := range vn {
+			if !visited[nid] {
+				st.ForwardMessages++
+				push(nid)
+			}
+		}
+	}
+	sort.Slice(result, func(i, j int) bool {
+		return geom.Dist2(o.objs[result[i]].Pos, centre) < geom.Dist2(o.objs[result[j]].Pos, centre)
+	})
+	return result, st, nil
+}
+
+// SetNMax implements the dynamic-NMax perspective (§7, second point): when
+// the overlay grows past its provisioned size, raise NMax, shrink dmin
+// accordingly, and re-draw the long links of the objects whose close
+// neighbourhood became denser than the threshold ("updating only the
+// objects whose neighbourhood is too dense"). Returns the number of
+// objects whose links were re-drawn.
+func (o *Overlay) SetNMax(nmax, denseThreshold int) int {
+	if nmax <= 0 || nmax == o.cfg.NMax {
+		return 0
+	}
+	o.cfg.NMax = nmax
+	newDMin := DefaultDMin(nmax)
+
+	// Rebuild the close-neighbour grid at the new radius.
+	oldGrid := o.grid
+	o.grid = newCloseIndex(newDMin)
+	for _, id := range o.ids {
+		o.grid.add(o.objs[id].Pos, id)
+	}
+	_ = oldGrid
+	prevDMin := o.dmin
+	o.dmin = newDMin
+
+	if o.cfg.DisableLongLinks {
+		return 0
+	}
+	refreshed := 0
+	for _, id := range o.ids {
+		obj := o.objs[id]
+		// Density test against the *previous* radius: objects that had more
+		// close neighbours than the threshold re-draw their links under the
+		// new dmin.
+		if o.grid.count(obj.Pos, prevDMin, id) <= denseThreshold {
+			continue
+		}
+		refreshed++
+		for j := range obj.longTargets {
+			// Withdraw the old link...
+			if holder := o.objs[obj.longNbrs[j]]; holder != nil {
+				for i, ref := range holder.back {
+					if ref.Obj == id && ref.Link == j {
+						holder.back[i] = holder.back[len(holder.back)-1]
+						holder.back = holder.back[:len(holder.back)-1]
+						break
+					}
+				}
+			}
+			// ...and draw a fresh one under the new dmin.
+			tgt := o.chooseLRT(obj.Pos)
+			obj.longTargets[j] = tgt
+			ownerV := o.tr.NearestSite(tgt, obj.vert)
+			ownerID := o.byVertex[ownerV]
+			obj.longNbrs[j] = ownerID
+			o.objs[ownerID].back = append(o.objs[ownerID].back, BackRef{Obj: id, Link: j})
+		}
+	}
+	return refreshed
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"voronet/internal/delaunay"
+	"voronet/internal/geom"
+)
+
+// Router performs greedy routing over a *frozen* overlay without mutating
+// any shared state: it owns its scratch buffers and its own step counter,
+// so any number of Routers can run concurrently on different goroutines as
+// long as no Insert/Join/Remove runs at the same time. This is how the
+// experiment engine uses every core for the paper's route-length
+// measurements (100 000 samples per checkpoint in §5).
+type Router struct {
+	o *Overlay
+	// Steps counts Greedyneighbour invocations performed by this router.
+	Steps uint64
+
+	nbuf []delaunay.VertexID
+	cbuf []ObjectID
+}
+
+// NewRouter returns a router bound to the overlay. The router is only
+// valid while the overlay is not mutated.
+func (o *Overlay) NewRouter() *Router {
+	return &Router{o: o}
+}
+
+// greedyNeighbor mirrors Overlay.greedyNeighbor using private buffers.
+func (r *Router) greedyNeighbor(obj *Object, target geom.Point) *Object {
+	r.Steps++
+	o := r.o
+	var best *Object
+	bestD := math.Inf(1)
+	consider := func(id ObjectID) {
+		if id == obj.ID || id == NoObject {
+			return
+		}
+		c := o.objs[id]
+		if d := geom.Dist2(c.Pos, target); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	r.nbuf = o.tr.Neighbors(obj.vert, r.nbuf)
+	for _, v := range r.nbuf {
+		consider(o.byVertex[v])
+	}
+	if !o.cfg.DisableCloseNeighbours {
+		r.cbuf = o.grid.within(obj.Pos, o.dmin, obj.ID, r.cbuf)
+		for _, id := range r.cbuf {
+			consider(id)
+		}
+	}
+	for _, id := range obj.longNbrs {
+		consider(id)
+	}
+	return best
+}
+
+// RouteToObject greedily routes from one object to another and returns the
+// hop count, exactly like Overlay.RouteToObject but safe to call from
+// multiple goroutines concurrently (on an unchanging overlay).
+func (r *Router) RouteToObject(from, to ObjectID) (int, error) {
+	cur := r.o.objs[from]
+	dst := r.o.objs[to]
+	if cur == nil || dst == nil {
+		return 0, ErrNotFound
+	}
+	target := dst.Pos
+	hops := 0
+	limit := len(r.o.ids) + 16
+	for cur.ID != to {
+		next := r.greedyNeighbor(cur, target)
+		hops++
+		if next == nil {
+			return hops, fmt.Errorf("voronet: routing stalled at %d (no neighbours)", cur.ID)
+		}
+		if geom.Dist2(next.Pos, target) >= geom.Dist2(cur.Pos, target) {
+			return hops, fmt.Errorf("voronet: greedy routing regressed at %d", cur.ID)
+		}
+		if hops > limit {
+			return hops, fmt.Errorf("voronet: routing exceeded %d hops", limit)
+		}
+		cur = next
+	}
+	return hops, nil
+}
+
+// RoutePair is one sampled couple for MeasureRoutes.
+type RoutePair struct {
+	From, To ObjectID
+}
+
+// MeasureRoutes routes every pair over `workers` goroutines (0 selects
+// GOMAXPROCS) and returns the hop count per pair plus the total
+// Greedyneighbour count. The overlay must not be mutated during the call.
+func (o *Overlay) MeasureRoutes(pairs []RoutePair, workers int) ([]int, uint64, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	if workers == 0 {
+		return nil, 0, nil
+	}
+	hops := make([]int, len(pairs))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	var steps uint64
+	chunk := (len(pairs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			r := o.NewRouter()
+			for i := lo; i < hi; i++ {
+				h, err := r.RouteToObject(pairs[i].From, pairs[i].To)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				hops[i] = h
+			}
+			mu.Lock()
+			steps += r.Steps
+			mu.Unlock()
+		}(lo, hi)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, steps, firstErr
+	}
+	return hops, steps, nil
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"voronet/internal/workload"
+)
+
+func TestRouterMatchesSequentialRouting(t *testing.T) {
+	o := newTestOverlay(5000)
+	rng := rand.New(rand.NewSource(201))
+	ids := fill(t, o, &workload.Uniform{Rand: rng}, 1500)
+
+	r := o.NewRouter()
+	for q := 0; q < 200; q++ {
+		a := ids[rng.Intn(len(ids))]
+		b := ids[rng.Intn(len(ids))]
+		h1, err1 := o.RouteToObject(a, b)
+		h2, err2 := r.RouteToObject(a, b)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("error mismatch: %v vs %v", err1, err2)
+		}
+		if h1 != h2 {
+			t.Fatalf("hop mismatch %d vs %d for %d->%d", h1, h2, a, b)
+		}
+	}
+	if r.Steps == 0 {
+		t.Fatal("router did not count steps")
+	}
+}
+
+func TestMeasureRoutesParallel(t *testing.T) {
+	o := newTestOverlay(5000)
+	rng := rand.New(rand.NewSource(202))
+	ids := fill(t, o, workload.NewPowerLaw(2, rng), 1200)
+
+	pairs := make([]RoutePair, 400)
+	for i := range pairs {
+		pairs[i] = RoutePair{From: ids[rng.Intn(len(ids))], To: ids[rng.Intn(len(ids))]}
+	}
+	// Sequential reference.
+	seq := make([]int, len(pairs))
+	for i, p := range pairs {
+		h, err := o.RouteToObject(p.From, p.To)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq[i] = h
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		hops, steps, err := o.MeasureRoutes(pairs, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var total uint64
+		for i := range hops {
+			if hops[i] != seq[i] {
+				t.Fatalf("workers=%d pair %d: %d vs %d", workers, i, hops[i], seq[i])
+			}
+			total += uint64(hops[i])
+		}
+		if steps != total {
+			t.Fatalf("workers=%d: steps %d != total hops %d", workers, steps, total)
+		}
+	}
+	// Degenerate inputs.
+	if _, _, err := o.MeasureRoutes(nil, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := o.MeasureRoutes([]RoutePair{{From: 999999, To: ids[0]}}, 2); err == nil {
+		t.Fatal("missing object must error")
+	}
+}

@@ -1,0 +1,382 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"voronet/internal/delaunay"
+	"voronet/internal/geom"
+)
+
+// chooseLRT draws a long-link target for an object at p per Algorithm 3
+// (Choose-LRT): a radius with density proportional to r^(1-s) on
+// [dmin, √2] — log-uniform for the paper's s = 2 — and a uniform angle.
+// The target may land outside the unit square; its owner is still the
+// nearest object (§4.3.2).
+func (o *Overlay) chooseLRT(p geom.Point) geom.Point {
+	draw := func() geom.Point {
+		r := o.sampleLinkRadius()
+		theta := o.rng.Float64() * 2 * math.Pi
+		return geom.Pt(p.X+r*math.Cos(theta), p.Y+r*math.Sin(theta))
+	}
+	tgt := draw()
+	if o.cfg.InteriorTargets {
+		for tries := 0; !tgt.InUnitSquare() && tries < 64; tries++ {
+			tgt = draw()
+		}
+		if !tgt.InUnitSquare() {
+			tgt = tgt.ClampUnitSquare()
+		}
+	}
+	return tgt
+}
+
+func (o *Overlay) sampleLinkRadius() float64 {
+	rmin, rmax := o.dmin, math.Sqrt2
+	u := o.rng.Float64()
+	if s := o.cfg.LongLinkExponent; s != 2 {
+		e := 2 - s
+		lo := math.Pow(rmin, e)
+		hi := math.Pow(rmax, e)
+		return math.Pow(lo+u*(hi-lo), 1/e)
+	}
+	// a ~ U[ln dmin, ln √2]; r = e^a.
+	return math.Exp(math.Log(rmin) + u*(math.Log(rmax)-math.Log(rmin)))
+}
+
+// GreedyNeighbor returns the neighbour of id — over vn(o) ∪ cn(o) ∪ LRn(o)
+// — closest to target, the paper's Greedyneighbour primitive. It returns
+// NoObject only when the object has no neighbours (singleton overlay).
+func (o *Overlay) GreedyNeighbor(id ObjectID, target geom.Point) (ObjectID, error) {
+	obj := o.objs[id]
+	if obj == nil {
+		return NoObject, ErrNotFound
+	}
+	n := o.greedyNeighbor(obj, target)
+	if n == nil {
+		return NoObject, nil
+	}
+	return n.ID, nil
+}
+
+func (o *Overlay) greedyNeighbor(obj *Object, target geom.Point) *Object {
+	o.counters.GreedySteps++
+	var best *Object
+	bestD := math.Inf(1)
+	consider := func(id ObjectID) {
+		if id == obj.ID || id == NoObject {
+			return
+		}
+		c := o.objs[id]
+		if d := geom.Dist2(c.Pos, target); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	o.nbuf = o.tr.Neighbors(obj.vert, o.nbuf)
+	for _, v := range o.nbuf {
+		consider(o.byVertex[v])
+	}
+	if !o.cfg.DisableCloseNeighbours {
+		o.cbuf = o.grid.within(obj.Pos, o.dmin, obj.ID, o.cbuf)
+		for _, id := range o.cbuf {
+			consider(id)
+		}
+	}
+	for _, id := range obj.longNbrs {
+		consider(id)
+	}
+	return best
+}
+
+// RouteToObject greedily routes a message from object `from` to object
+// `to` and returns the number of hops (Greedyneighbour calls). This is the
+// measurement of Figs 6–8: mean hops between random object couples.
+func (o *Overlay) RouteToObject(from, to ObjectID) (int, error) {
+	cur := o.objs[from]
+	dst := o.objs[to]
+	if cur == nil || dst == nil {
+		return 0, ErrNotFound
+	}
+	target := dst.Pos
+	hops := 0
+	limit := len(o.ids) + 16
+	for cur.ID != to {
+		next := o.greedyNeighbor(cur, target)
+		hops++
+		if next == nil {
+			return hops, fmt.Errorf("voronet: routing stalled at %d (no neighbours)", cur.ID)
+		}
+		if geom.Dist2(next.Pos, target) >= geom.Dist2(cur.Pos, target) {
+			// Cannot happen on a correct overlay: greedy routing on a
+			// Delaunay triangulation always makes strict progress towards
+			// the region owner, and the target is an object.
+			return hops, fmt.Errorf("voronet: greedy routing regressed at %d", cur.ID)
+		}
+		if hops > limit {
+			return hops, fmt.Errorf("voronet: routing exceeded %d hops", limit)
+		}
+		cur = next
+	}
+	return hops, nil
+}
+
+// RouteResult reports the outcome of a point routing (Algorithm 5).
+type RouteResult struct {
+	// Stop is the object at which the termination condition fired.
+	Stop ObjectID
+	// Owner is the object whose region contains the target.
+	Owner ObjectID
+	// Hops is the number of Greedyneighbour calls.
+	Hops int
+}
+
+// RouteToPoint routes from object `from` towards an arbitrary target point
+// per the framework of Algorithm 5: forward greedily while
+//
+//	d(DistanceToRegion(target), target) > ⅓·d(target, current)
+//	and d(target, current) > dmin,
+//
+// then stop; the stopping object can insert the target locally (Lemma 4).
+// The returned Owner is the object whose Voronoi region contains target.
+func (o *Overlay) RouteToPoint(from ObjectID, target geom.Point) (RouteResult, error) {
+	cur := o.objs[from]
+	if cur == nil {
+		return RouteResult{}, ErrNotFound
+	}
+	hops, err := o.routeToPoint(&cur, target)
+	if err != nil {
+		return RouteResult{Hops: hops}, err
+	}
+	ownerV := o.tr.NearestSite(target, cur.vert)
+	return RouteResult{Stop: cur.ID, Owner: o.byVertex[ownerV], Hops: hops}, nil
+}
+
+// routeToPoint advances *cur until Algorithm 5's stop condition holds and
+// returns the hop count.
+func (o *Overlay) routeToPoint(cur **Object, target geom.Point) (int, error) {
+	hops := 0
+	limit := len(o.ids) + 16
+	for {
+		c := *cur
+		dCur := geom.Dist(target, c.Pos)
+		if dCur <= o.dmin {
+			return hops, nil
+		}
+		if o.tr.Dimension() < 2 {
+			// Degenerate overlay (≤2 objects or collinear): regions are
+			// halfplanes/slabs; route greedily to the nearest object.
+			next := o.greedyNeighbor(c, target)
+			hops++
+			if next == nil || geom.Dist2(next.Pos, target) >= geom.Dist2(c.Pos, target) {
+				return hops, nil
+			}
+			*cur = next
+			continue
+		}
+		_, dz := o.vor.DistanceToRegion(c.vert, target)
+		if dz <= dCur/3 {
+			return hops, nil
+		}
+		next := o.greedyNeighbor(c, target)
+		hops++
+		if next == nil {
+			return hops, nil
+		}
+		if geom.Dist2(next.Pos, target) >= geom.Dist2(c.Pos, target) {
+			return hops, fmt.Errorf("voronet: point routing regressed at %d", c.ID)
+		}
+		if hops > limit {
+			return hops, fmt.Errorf("voronet: point routing exceeded %d hops", limit)
+		}
+		*cur = next
+	}
+}
+
+// Join adds an object at p through the full distributed protocol
+// (Algorithm 1, AddObject): greedy-route from the introduction point `via`
+// until the stop condition, insert a fictive object z at
+// DistanceToRegion(p) when p is not locally insertable, insert the object,
+// remove the fictive one, and establish each long link by SearchLongLink
+// (Algorithm 2) — which itself routes and performs the two fictive
+// insertions the paper notes. All costs are accounted in Counters.
+//
+// via may be NoObject, in which case a deterministic arbitrary object is
+// used as the introduction point (the paper assumes each joining object
+// knows one object in the overlay).
+func (o *Overlay) Join(p geom.Point, via ObjectID) (ObjectID, error) {
+	if len(o.ids) == 0 {
+		// Bootstrap: the first object has the whole square as its region;
+		// its long links necessarily point to itself.
+		id, err := o.insert(p, delaunay.NoVertex)
+		if err == nil {
+			o.counters.Joins++
+		}
+		return id, err
+	}
+	start := o.objs[via]
+	if start == nil {
+		start = o.objs[o.ids[0]]
+	}
+
+	// Route towards the new position (AddObject's loop).
+	cur := start
+	hops, err := o.routeToPoint(&cur, p)
+	if err != nil {
+		return NoObject, err
+	}
+	o.counters.JoinRouteSteps += uint64(hops)
+
+	// Fictive object z = DistanceToRegion(p) at the stopping object, unless
+	// p is already in R(stop) (Lemma 4 lets us insert z, then p from z).
+	z, dz := o.fictiveSite(cur, p)
+	var zID ObjectID = NoObject
+	if dz > 0 {
+		if id, err := o.insertCore(z, cur.vert, modeFictive); err == nil {
+			zID = id
+			o.counters.FictiveInserts++
+		}
+	}
+
+	hint := cur.vert
+	if zID != NoObject {
+		hint = o.objs[zID].vert
+	}
+	id, err := o.insertCore(p, hint, modeJoining)
+	if zID != NoObject {
+		if rerr := o.Remove(zID); rerr != nil {
+			return NoObject, rerr
+		}
+		o.counters.Leaves-- // fictive removals are not protocol leaves
+	}
+	if err != nil {
+		return NoObject, err
+	}
+	obj := o.objs[id]
+	// AddVoronoiRegion exchanges O(|vn|) messages (§4.2.1).
+	o.counters.MaintenanceMessages += uint64(o.tr.Degree(obj.vert))
+
+	// Establish the long links through the routed protocol (Algorithm 2).
+	if !o.cfg.DisableLongLinks {
+		for j := 0; j < o.cfg.LongLinks; j++ {
+			tgt := o.chooseLRT(p)
+			ownerID, lhops, err := o.searchLongLink(obj, tgt)
+			if err != nil {
+				return NoObject, err
+			}
+			o.counters.JoinRouteSteps += uint64(lhops)
+			obj.longTargets = append(obj.longTargets, tgt)
+			obj.longNbrs = append(obj.longNbrs, ownerID)
+			o.objs[ownerID].back = append(o.objs[ownerID].back, BackRef{Obj: id, Link: j})
+		}
+	}
+	o.counters.Joins++
+	return id, nil
+}
+
+// searchLongLink implements Algorithm 2: route from obj towards the target
+// point, then determine the owning object via the double fictive insertion
+// the paper describes ("finding LRn(x) requires to add two objects (to be
+// removed!)").
+func (o *Overlay) searchLongLink(obj *Object, tgt geom.Point) (ObjectID, int, error) {
+	cur := obj
+	hops, err := o.routeToPoint(&cur, tgt)
+	if err != nil {
+		return NoObject, hops, err
+	}
+	owner, err := o.resolveByFictive(cur, tgt)
+	return owner, hops, err
+}
+
+// fictiveSite computes z = DistanceToRegion(target) at cur, handling the
+// degenerate (dim < 2) overlay where regions are not polygons.
+func (o *Overlay) fictiveSite(cur *Object, target geom.Point) (geom.Point, float64) {
+	if o.tr.Dimension() < 2 {
+		return cur.Pos, geom.Dist(cur.Pos, target)
+	}
+	return o.vor.DistanceToRegion(cur.vert, target)
+}
+
+// resolveByFictive determines Obj(tgt) the way the protocol does: insert a
+// fictive object at z = DistanceToRegion(tgt) (if needed), insert a fictive
+// object at tgt itself, read off the nearest Voronoi neighbour, and remove
+// both again. Exercising the real insert/remove machinery here is
+// deliberate: it is what the protocol costs and what the paper's
+// correctness argument (Lemma 4) is about.
+func (o *Overlay) resolveByFictive(cur *Object, tgt geom.Point) (ObjectID, error) {
+	z, dz := o.fictiveSite(cur, tgt)
+	var zID, tID ObjectID = NoObject, NoObject
+	if dz > 0 {
+		if id, err := o.insertCore(z, cur.vert, modeFictive); err == nil {
+			zID = id
+			o.counters.FictiveInserts++
+		}
+	}
+	hint := cur.vert
+	if zID != NoObject {
+		hint = o.objs[zID].vert
+	}
+	if id, err := o.insertCore(tgt, hint, modeFictive); err == nil {
+		tID = id
+		o.counters.FictiveInserts++
+	}
+
+	// Remove the stepping-stone z before reading off the owner, as
+	// Algorithm 4 does (AddVoronoiRegion(z); AddVoronoiRegion(Query);
+	// RemoveVoronoiRegion(z); find y ∈ vn(Query) minimising d(y, Query)).
+	// With z gone, the nearest Voronoi neighbour of the fictive target
+	// object is exactly the object owning the target's region afterwards;
+	// scanning while z is still present could name a shadowed second-best.
+	if zID != NoObject {
+		if err := o.Remove(zID); err != nil {
+			return NoObject, err
+		}
+		o.counters.Leaves--
+	}
+	var owner ObjectID = NoObject
+	if tID != NoObject {
+		tObj := o.objs[tID]
+		o.nbuf = o.tr.Neighbors(tObj.vert, o.nbuf)
+		best := math.Inf(1)
+		for _, v := range o.nbuf {
+			nid := o.byVertex[v]
+			if nid == tID {
+				continue
+			}
+			if d := geom.Dist2(o.objs[nid].Pos, tgt); d < best {
+				owner, best = nid, d
+			}
+		}
+		if err := o.Remove(tID); err != nil {
+			return NoObject, err
+		}
+		o.counters.Leaves--
+	}
+	if owner == NoObject {
+		// tgt coincided with an existing object, or its neighbours were all
+		// fictive: fall back to the ground truth.
+		v := o.tr.NearestSite(tgt, cur.vert)
+		owner = o.byVertex[v]
+	}
+	return owner, nil
+}
+
+// HandleQuery implements Algorithm 4: route the query point from object
+// `from`, determine the owner via the fictive dance, and "answer" it by
+// returning the owner. Hops is the Greedyneighbour count.
+func (o *Overlay) HandleQuery(from ObjectID, query geom.Point) (RouteResult, error) {
+	cur := o.objs[from]
+	if cur == nil {
+		return RouteResult{}, ErrNotFound
+	}
+	hops, err := o.routeToPoint(&cur, query)
+	if err != nil {
+		return RouteResult{Hops: hops}, err
+	}
+	owner, err := o.resolveByFictive(cur, query)
+	if err != nil {
+		return RouteResult{Hops: hops}, err
+	}
+	o.counters.MaintenanceMessages++ // AnswerQuery back to the requester
+	o.counters.Queries++
+	return RouteResult{Stop: cur.ID, Owner: owner, Hops: hops}, nil
+}

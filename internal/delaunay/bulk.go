@@ -1,0 +1,117 @@
+package delaunay
+
+import (
+	"sort"
+
+	"voronet/internal/geom"
+)
+
+// InsertBulk inserts many sites at once in a locality-aware order
+// (Hilbert-curve sort, the core of a BRIO build): consecutive insertions
+// land near each other, so the remembering walk from the previous site is
+// O(1) steps and the whole build is close to linear time. Results are
+// returned in the order of the input points; duplicates yield the existing
+// site's ID.
+//
+// The structural outcome is identical to inserting the points one by one
+// in any order — the Delaunay triangulation of a point set is unique (up
+// to co-circular retriangulation) — so this is purely a construction-time
+// optimisation: the experiment engine uses it to build 300 000-object
+// overlays in seconds.
+func (t *Triangulation) InsertBulk(points []geom.Point) []VertexID {
+	ids := make([]VertexID, len(points))
+	order := hilbertOrder(points)
+	hint := t.lastInsertedHint()
+	for _, idx := range order {
+		v, err := t.Insert(points[idx], hint)
+		ids[idx] = v
+		if err == nil {
+			hint = v
+		}
+	}
+	return ids
+}
+
+func (t *Triangulation) lastInsertedHint() VertexID {
+	if t.lastFace == NoFace || int(t.lastFace) >= len(t.faces) || !t.faces[t.lastFace].alive {
+		return NoVertex
+	}
+	for _, v := range t.faces[t.lastFace].v {
+		if v != Infinite {
+			return v
+		}
+	}
+	return NoVertex
+}
+
+// hilbertOrder returns a permutation of indices sorting the points along a
+// Hilbert curve over their bounding box.
+func hilbertOrder(points []geom.Point) []int {
+	n := len(points)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	if n < 3 {
+		return order
+	}
+	minX, minY := points[0].X, points[0].Y
+	maxX, maxY := minX, minY
+	for _, p := range points {
+		if p.X < minX {
+			minX = p.X
+		}
+		if p.X > maxX {
+			maxX = p.X
+		}
+		if p.Y < minY {
+			minY = p.Y
+		}
+		if p.Y > maxY {
+			maxY = p.Y
+		}
+	}
+	spanX := maxX - minX
+	spanY := maxY - minY
+	if spanX == 0 {
+		spanX = 1
+	}
+	if spanY == 0 {
+		spanY = 1
+	}
+	const bits = 16
+	const side = 1 << bits
+	keys := make([]uint64, n)
+	for i, p := range points {
+		x := uint32((p.X - minX) / spanX * (side - 1))
+		y := uint32((p.Y - minY) / spanY * (side - 1))
+		keys[i] = hilbertD(bits, x, y)
+	}
+	sort.Slice(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+	return order
+}
+
+// hilbertD maps grid cell (x, y) on a 2^order × 2^order grid to its
+// distance along the Hilbert curve (the classical rot/flip formulation).
+func hilbertD(order uint, x, y uint32) uint64 {
+	var d uint64
+	for s := uint32(1) << (order - 1); s > 0; s >>= 1 {
+		var rx, ry uint32
+		if x&s > 0 {
+			rx = 1
+		}
+		if y&s > 0 {
+			ry = 1
+		}
+		d += uint64(s) * uint64(s) * uint64((3*rx)^ry)
+		// Rotate the quadrant.
+		if ry == 0 {
+			if rx == 1 {
+				x = s - 1 - x
+				y = s - 1 - y
+			}
+			x, y = y, x
+		}
+	}
+	return d
+}

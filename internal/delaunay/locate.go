@@ -1,0 +1,253 @@
+package delaunay
+
+import "voronet/internal/geom"
+
+// LocKind classifies the result of point location.
+type LocKind int
+
+const (
+	// LocFace: the query lies strictly inside a finite face.
+	LocFace LocKind = iota
+	// LocEdge: the query lies in the interior of a finite edge.
+	LocEdge
+	// LocVertex: the query coincides with a site.
+	LocVertex
+	// LocOutside: the query lies outside the convex hull; Face is an
+	// infinite face whose hull edge strictly sees the query.
+	LocOutside
+)
+
+// Location is the result of Locate.
+type Location struct {
+	Kind   LocKind
+	Face   FaceID
+	Edge   int      // for LocEdge: index (opposite vertex) of the edge in Face
+	Vertex VertexID // for LocVertex: the coincident site
+}
+
+// Locate finds the position of p in the triangulation using a remembering
+// visibility walk starting near hint (a live vertex, or NoVertex to start
+// from the last touched face). It requires dimension 2.
+//
+// The walk is guaranteed to terminate on a Delaunay triangulation; as a
+// defence in depth a step budget triggers an exhaustive scan.
+func (t *Triangulation) Locate(p geom.Point, hint VertexID) Location {
+	start := t.lastFace
+	if hint != NoVertex && t.Alive(hint) && t.verts[hint].face != NoFace {
+		start = t.verts[hint].face
+	}
+	if start == NoFace || !t.faces[start].alive {
+		start = t.anyAliveFace()
+	}
+	return t.locateFrom(p, start)
+}
+
+func (t *Triangulation) anyAliveFace() FaceID {
+	for id := range t.faces {
+		if t.faces[id].alive {
+			return FaceID(id)
+		}
+	}
+	return NoFace
+}
+
+func (t *Triangulation) locateFrom(p geom.Point, start FaceID) Location {
+	f := start
+	// If we start on an infinite face, step to its finite neighbour.
+	if !t.isFiniteFace(f) {
+		i := t.vertIndex(f, Infinite)
+		f = t.faces[f].n[i]
+	}
+	prev := NoFace
+	maxSteps := 8*(t.nFinite+16) + 64
+	for step := 0; ; step++ {
+		if step > maxSteps {
+			// Should be unreachable (the visibility walk terminates on
+			// Delaunay triangulations); fall back to an exhaustive scan so a
+			// latent bug degrades to O(n) instead of a hang.
+			return t.locateExhaustive(p)
+		}
+		fc := &t.faces[f]
+		if fc.v[0] == Infinite || fc.v[1] == Infinite || fc.v[2] == Infinite {
+			// We crossed a hull edge strictly: p is outside.
+			return Location{Kind: LocOutside, Face: f}
+		}
+		var orients [3]int
+		moved := false
+		// Randomise the edge probing order so the walk cannot cycle.
+		r := t.rng.Intn(3)
+		for j := 0; j < 3; j++ {
+			k := (r + j) % 3
+			if fc.n[k] == prev && prev != NoFace {
+				orients[k] = 1 // entry edge is strictly positive by construction
+				continue
+			}
+			u := t.verts[fc.v[(k+1)%3]].p
+			v := t.verts[fc.v[(k+2)%3]].p
+			o := geom.Orient2D(u, v, p)
+			orients[k] = o
+			if o < 0 {
+				prev = f
+				f = fc.n[k]
+				moved = true
+				break
+			}
+		}
+		if moved {
+			continue
+		}
+		// p is inside the closed triangle.
+		t.lastFace = f
+		zeroCount := 0
+		zeroIdx := -1
+		for k := 0; k < 3; k++ {
+			if orients[k] == 0 {
+				zeroCount++
+				zeroIdx = k
+			}
+		}
+		switch zeroCount {
+		case 0:
+			return Location{Kind: LocFace, Face: f}
+		case 1:
+			return Location{Kind: LocEdge, Face: f, Edge: zeroIdx}
+		default:
+			// On two edge lines at once: p coincides with the shared vertex.
+			for k := 0; k < 3; k++ {
+				if orients[k] != 0 {
+					return Location{Kind: LocVertex, Face: f, Vertex: fc.v[k]}
+				}
+			}
+			// All three zero is impossible for a non-degenerate face.
+			return Location{Kind: LocVertex, Face: f, Vertex: fc.v[0]}
+		}
+	}
+}
+
+// locateExhaustive is the O(n) fallback: test every face.
+func (t *Triangulation) locateExhaustive(p geom.Point) Location {
+	for id := range t.faces {
+		fc := &t.faces[id]
+		if !fc.alive {
+			continue
+		}
+		if fc.v[0] == Infinite || fc.v[1] == Infinite || fc.v[2] == Infinite {
+			continue
+		}
+		var orients [3]int
+		inside := true
+		for k := 0; k < 3; k++ {
+			u := t.verts[fc.v[(k+1)%3]].p
+			v := t.verts[fc.v[(k+2)%3]].p
+			orients[k] = geom.Orient2D(u, v, p)
+			if orients[k] < 0 {
+				inside = false
+				break
+			}
+		}
+		if !inside {
+			continue
+		}
+		f := FaceID(id)
+		t.lastFace = f
+		zeroCount, zeroIdx := 0, -1
+		for k := 0; k < 3; k++ {
+			if orients[k] == 0 {
+				zeroCount++
+				zeroIdx = k
+			}
+		}
+		switch zeroCount {
+		case 0:
+			return Location{Kind: LocFace, Face: f}
+		case 1:
+			return Location{Kind: LocEdge, Face: f, Edge: zeroIdx}
+		default:
+			for k := 0; k < 3; k++ {
+				if orients[k] != 0 {
+					return Location{Kind: LocVertex, Face: f, Vertex: fc.v[k]}
+				}
+			}
+		}
+	}
+	// p is in no finite face: outside the hull. Find a strictly visible
+	// hull edge.
+	for id := range t.faces {
+		fc := &t.faces[id]
+		if !fc.alive {
+			continue
+		}
+		i := t.vertIndex(FaceID(id), Infinite)
+		if i < 0 {
+			continue
+		}
+		u := t.verts[fc.v[(i+1)%3]].p
+		v := t.verts[fc.v[(i+2)%3]].p
+		if geom.Orient2D(u, v, p) > 0 {
+			return Location{Kind: LocOutside, Face: FaceID(id)}
+		}
+	}
+	// Unreachable in dimension 2: a point outside the hull always has a
+	// strictly visible hull edge (tangent locations turn the hull corner).
+	panic("delaunay: exhaustive location failed")
+}
+
+// NearestSite returns the live site closest to p (ties broken
+// arbitrarily but deterministically), using point location plus greedy
+// descent over Delaunay neighbours. hint accelerates the search.
+//
+// This is exactly the paper's Obj(Target): the object whose Voronoi region
+// contains the point. The greedy descent is sound because in a Delaunay
+// triangulation every non-nearest vertex has a neighbour strictly closer
+// to the query.
+func (t *Triangulation) NearestSite(p geom.Point, hint VertexID) VertexID {
+	if t.nFinite == 0 {
+		return NoVertex
+	}
+	if t.dim < 2 {
+		best := NoVertex
+		bestD := 0.0
+		for _, v := range t.line {
+			d := geom.Dist2(p, t.verts[v].p)
+			if best == NoVertex || d < bestD {
+				best, bestD = v, d
+			}
+		}
+		return best
+	}
+	loc := t.Locate(p, hint)
+	var cur VertexID
+	switch loc.Kind {
+	case LocVertex:
+		return loc.Vertex
+	default:
+		fc := &t.faces[loc.Face]
+		cur = NoVertex
+		best := 0.0
+		for k := 0; k < 3; k++ {
+			if fc.v[k] == Infinite {
+				continue
+			}
+			d := geom.Dist2(p, t.verts[fc.v[k]].p)
+			if cur == NoVertex || d < best {
+				cur, best = fc.v[k], d
+			}
+		}
+	}
+	// Greedy descent.
+	var buf []VertexID
+	for {
+		buf = t.Neighbors(cur, buf)
+		best := cur
+		bestD := geom.Dist2(p, t.verts[cur].p)
+		for _, u := range buf {
+			if d := geom.Dist2(p, t.verts[u].p); d < bestD {
+				best, bestD = u, d
+			}
+		}
+		if best == cur {
+			return cur
+		}
+		cur = best
+	}
+}

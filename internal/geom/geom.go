@@ -1,0 +1,141 @@
+// Package geom provides the 2-D geometric primitives and robust predicates
+// that the VoroNet substrate is built on.
+//
+// The two predicates that decide the topology of a Delaunay triangulation —
+// Orient2D and InCircle — are evaluated adaptively: a fast floating-point
+// path guarded by a forward error bound (Shewchuk's "A" filter), falling
+// back to exact floating-point expansion arithmetic when the filter cannot
+// certify the sign. This makes the triangulation, and therefore the VoroNet
+// overlay state derived from it, immune to the calculation degeneracy the
+// paper addresses via Sugihara–Iri [13]: duplicated, collinear and
+// co-circular sites never corrupt the structure.
+package geom
+
+import "math"
+
+// Point is a site in the 2-D attribute space. VoroNet positions live in the
+// unit square [0,1]×[0,1], but nothing in this package assumes that: long
+// range targets (Choose-LRT) may land outside it.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return Point{x, y} }
+
+// Add returns p + q (componentwise).
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p - q (componentwise).
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by s.
+func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s} }
+
+// Dot returns the dot product p·q.
+func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y }
+
+// Cross returns the 2-D cross product p×q = p.X·q.Y − p.Y·q.X.
+func (p Point) Cross(q Point) float64 { return p.X*q.Y - p.Y*q.X }
+
+// Norm returns the Euclidean length of p viewed as a vector.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Dist returns the Euclidean distance between p and q.
+func Dist(p, q Point) float64 { return math.Hypot(p.X-q.X, p.Y-q.Y) }
+
+// Dist2 returns the squared Euclidean distance between p and q. Prefer it
+// for comparisons: it is exact-enough, monotone in Dist and avoids the
+// square root.
+func Dist2(p, q Point) float64 {
+	dx := p.X - q.X
+	dy := p.Y - q.Y
+	return dx*dx + dy*dy
+}
+
+// InUnitSquare reports whether p lies in the closed unit square, the
+// attribute domain used throughout the paper.
+func (p Point) InUnitSquare() bool {
+	return p.X >= 0 && p.X <= 1 && p.Y >= 0 && p.Y <= 1
+}
+
+// ClampUnitSquare returns p clamped to the closed unit square.
+func (p Point) ClampUnitSquare() Point {
+	return Point{math.Min(1, math.Max(0, p.X)), math.Min(1, math.Max(0, p.Y))}
+}
+
+// Circumcenter returns the circumcentre of triangle abc, i.e. the Voronoi
+// vertex dual to the Delaunay face abc. ok is false when the points are
+// (numerically) collinear and no finite circumcentre exists.
+//
+// The computation is translated to the origin at a for accuracy; it is not
+// exact, which is fine: circumcentres parameterise Voronoi cell *geometry*
+// (drawing, DistanceToRegion) while all topological decisions go through
+// the exact predicates.
+func Circumcenter(a, b, c Point) (Point, bool) {
+	bx := b.X - a.X
+	by := b.Y - a.Y
+	cx := c.X - a.X
+	cy := c.Y - a.Y
+	d := 2 * (bx*cy - by*cx)
+	if d == 0 {
+		return Point{}, false
+	}
+	b2 := bx*bx + by*by
+	c2 := cx*cx + cy*cy
+	ux := (cy*b2 - by*c2) / d
+	uy := (bx*c2 - cx*b2) / d
+	return Point{a.X + ux, a.Y + uy}, true
+}
+
+// ClosestPointOnSegment returns the point of segment [a,b] closest to p.
+func ClosestPointOnSegment(p, a, b Point) Point {
+	ab := b.Sub(a)
+	den := ab.Dot(ab)
+	if den == 0 {
+		return a
+	}
+	t := p.Sub(a).Dot(ab) / den
+	if t <= 0 {
+		return a
+	}
+	if t >= 1 {
+		return b
+	}
+	return a.Add(ab.Scale(t))
+}
+
+// SegmentIntersectsDisk reports whether segment [a,b] intersects the closed
+// disk of centre c and radius r.
+func SegmentIntersectsDisk(a, b, c Point, r float64) bool {
+	q := ClosestPointOnSegment(c, a, b)
+	return Dist2(q, c) <= r*r
+}
+
+// ConvexPolygonIntersectsSegment reports whether a convex counterclockwise
+// polygon and segment [a,b] intersect, via separating-axis tests over the
+// polygon edge normals and the segment normal.
+func ConvexPolygonIntersectsSegment(poly []Point, a, b Point) bool {
+	if len(poly) < 3 {
+		return false
+	}
+	test := func(ax Point) bool {
+		minP, maxP := math.Inf(1), math.Inf(-1)
+		for _, p := range poly {
+			v := ax.Dot(p)
+			minP = math.Min(minP, v)
+			maxP = math.Max(maxP, v)
+		}
+		sa, sb := ax.Dot(a), ax.Dot(b)
+		minS, maxS := math.Min(sa, sb), math.Max(sa, sb)
+		return maxP < minS || maxS < minP
+	}
+	for i := range poly {
+		e := poly[(i+1)%len(poly)].Sub(poly[i])
+		if test(Pt(-e.Y, e.X)) {
+			return false
+		}
+	}
+	d := b.Sub(a)
+	return !test(Pt(-d.Y, d.X))
+}

@@ -1,0 +1,551 @@
+package node
+
+import (
+	"math"
+
+	"voronet/internal/geom"
+	"voronet/internal/proto"
+)
+
+// handle dispatches one inbound protocol message. The transports guarantee
+// serial invocation; n.mu protects against concurrent API calls.
+func (n *Node) handle(from string, payload []byte) {
+	env, err := proto.Decode(payload)
+	if err != nil {
+		return // malformed frame: drop
+	}
+	n.mu.Lock()
+	// Merge the sender's tombstones: gossip must not resurrect the dead.
+	for _, d := range env.Departed {
+		if d != n.self.Addr {
+			n.tombstoneLocked(d)
+		}
+	}
+	// A message from a tombstoned address proves it is alive again
+	// (rejoined at the same address): lift the tombstone.
+	if env.Type != proto.KindLeave && env.Type != proto.KindLeaveCN && n.tombs[env.From.Addr] {
+		delete(n.tombs, env.From.Addr)
+	}
+	n.purgeTombstonedLocked()
+	n.mu.Unlock()
+
+	switch env.Type {
+	case proto.KindRoute:
+		n.handleRoute(env)
+	case proto.KindJoinGrant:
+		n.handleJoinGrant(env)
+	case proto.KindSetNeighbors:
+		n.handleSetNeighbors(env)
+	case proto.KindNeighborList:
+		n.handleNeighborList(env)
+	case proto.KindCNAdd:
+		n.handleCNAdd(env)
+	case proto.KindCNRemove:
+		n.mu.Lock()
+		delete(n.cn, env.From.Addr)
+		n.mu.Unlock()
+	case proto.KindLeaveCN:
+		n.mu.Lock()
+		delete(n.cn, env.From.Addr)
+		n.tombstoneLocked(env.From.Addr)
+		n.purgeTombstonedLocked()
+		n.mu.Unlock()
+	case proto.KindLongLinkGrant:
+		n.mu.Lock()
+		if env.Link < len(n.longNbrs) {
+			n.longNbrs[env.Link] = env.From
+		}
+		n.mu.Unlock()
+	case proto.KindLongLinkUpdate:
+		n.mu.Lock()
+		if env.Link < len(n.longNbrs) {
+			n.longNbrs[env.Link] = env.Granter
+		}
+		n.mu.Unlock()
+	case proto.KindBackTransfer:
+		n.mu.Lock()
+		n.back = append(n.back, env.Back...)
+		n.mu.Unlock()
+	case proto.KindBackWithdraw:
+		n.mu.Lock()
+		for i, ref := range n.back {
+			if ref.Origin.Addr == env.From.Addr && ref.Link == env.Link {
+				n.back[i] = n.back[len(n.back)-1]
+				n.back = n.back[:len(n.back)-1]
+				break
+			}
+		}
+		n.mu.Unlock()
+	case proto.KindLeave:
+		n.handleLeave(env)
+	case proto.KindRangeForward:
+		n.handleRangeForward(env)
+	case proto.KindRangeHit:
+		n.queryMu.Lock()
+		cb := n.rangeHits[env.QueryID]
+		n.queryMu.Unlock()
+		if cb != nil {
+			cb(env.From)
+		}
+	case proto.KindQueryAnswer:
+		n.queryMu.Lock()
+		cb := n.queries[env.QueryID]
+		delete(n.queries, env.QueryID)
+		n.queryMu.Unlock()
+		if cb != nil {
+			cb(env.From, env.Hops)
+		}
+	}
+}
+
+// handleRoute performs one greedy step of Algorithm 5's framework, or
+// handles the routed purpose locally when this node owns the target
+// region (no neighbour is closer).
+func (n *Node) handleRoute(env *proto.Envelope) {
+	n.mu.Lock()
+	if !n.joined {
+		n.mu.Unlock()
+		return
+	}
+	best := n.self
+	bestD := geom.Dist2(n.self.Pos, env.Target)
+	consider := func(c proto.NodeInfo) {
+		if c.Addr == "" || c.Addr == n.self.Addr || n.tombs[c.Addr] {
+			return
+		}
+		if d := geom.Dist2(c.Pos, env.Target); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	for _, v := range n.vn {
+		consider(v)
+	}
+	for _, c := range n.cn {
+		consider(c)
+	}
+	for _, l := range n.longNbrs {
+		consider(l)
+	}
+	n.mu.Unlock()
+
+	if best.Addr != n.self.Addr {
+		fwd := *env
+		fwd.Hops++
+		fwd.From = n.self
+		n.send(best.Addr, &fwd)
+		return
+	}
+
+	// We own the target's region.
+	switch env.Purpose {
+	case proto.PurposeJoin:
+		n.admitJoin(env)
+	case proto.PurposeLongLink:
+		n.mu.Lock()
+		n.back = append(n.back, proto.BackEntry{Origin: env.Origin, Link: env.Link, Target: env.Target})
+		n.mu.Unlock()
+		n.send(env.Origin.Addr, &proto.Envelope{
+			Type: proto.KindLongLinkGrant, From: n.self, Link: env.Link, Hops: env.Hops,
+		})
+	case proto.PurposeQuery:
+		n.send(env.Origin.Addr, &proto.Envelope{
+			Type: proto.KindQueryAnswer, From: n.self, QueryID: env.QueryID, Hops: env.Hops,
+		})
+	case proto.PurposeRange:
+		n.startRangeFlood(env)
+	}
+}
+
+// admitJoin is AddVoronoiRegion (§4.2.1) executed at the owner of the
+// joining object's region: recompute the local tessellation with the new
+// object, grant the joiner its view, and tell every affected neighbour to
+// insert the newcomer and recompute.
+func (n *Node) admitJoin(env *proto.Envelope) {
+	j := env.Origin
+
+	n.mu.Lock()
+	// Candidate pool: us, our neighbours, their neighbours.
+	pool := n.candidatePool()
+	pool[j.Addr] = j
+	newVN := miniNeighbors(j, pool)
+
+	// Bootstrap two-hop knowledge for the joiner from what we know.
+	var records []proto.NeighborRecord
+	for _, y := range newVN {
+		switch {
+		case y.Addr == n.self.Addr:
+			records = append(records, proto.NeighborRecord{Node: n.self, VN: n.vnList()})
+		default:
+			if lst, ok := n.twoHop[y.Addr]; ok {
+				records = append(records, proto.NeighborRecord{Node: y, VN: lst})
+			}
+		}
+	}
+	n.mu.Unlock()
+
+	// Grant the joiner its region and view.
+	n.send(j.Addr, &proto.Envelope{
+		Type:      proto.KindJoinGrant,
+		From:      n.self,
+		Neighbors: newVN,
+		TwoHop:    records,
+		Hops:      env.Hops,
+	})
+	// Tell each affected node (including ourselves) to take the newcomer
+	// into account and recompute its own neighbourhood.
+	for _, y := range newVN {
+		if y.Addr == n.self.Addr {
+			continue
+		}
+		n.send(y.Addr, &proto.Envelope{Type: proto.KindSetNeighbors, From: n.self, Origin: j})
+	}
+	n.integrateNewcomer(j)
+}
+
+// handleJoinGrant installs the view granted by the region owner and
+// finishes the join: announce our neighbour list, then establish the long
+// links (Algorithm 2).
+func (n *Node) handleJoinGrant(env *proto.Envelope) {
+	n.mu.Lock()
+	if n.joined {
+		n.mu.Unlock()
+		return
+	}
+	n.joined = true
+	for _, v := range env.Neighbors {
+		n.vn[v.Addr] = v
+	}
+	for _, rec := range env.TwoHop {
+		n.twoHop[rec.Node.Addr] = rec.VN
+	}
+	targets := make([]geom.Point, 0, n.cfg.LongLinks)
+	for jdx := 0; jdx < n.cfg.LongLinks; jdx++ {
+		targets = append(targets, n.chooseLRT())
+	}
+	n.longTargets = targets
+	n.longNbrs = make([]proto.NodeInfo, len(targets))
+	vns := n.vnList()
+	dep := n.departedLocked()
+	n.mu.Unlock()
+
+	// Freshness: our neighbours need our list in their two-hop tables.
+	for _, v := range vns {
+		n.send(v.Addr, &proto.Envelope{Type: proto.KindNeighborList, From: n.self, Neighbors: vns, Departed: dep})
+	}
+	// Long links: route each search starting at ourselves.
+	for jdx, tgt := range targets {
+		env := &proto.Envelope{
+			Type:    proto.KindRoute,
+			Purpose: proto.PurposeLongLink,
+			Target:  tgt,
+			Origin:  n.self,
+			Link:    jdx,
+		}
+		n.handle(n.self.Addr, mustEncode(env))
+	}
+}
+
+// handleSetNeighbors: a newcomer (env.Origin) entered our region's
+// neighbourhood; integrate it and recompute.
+func (n *Node) handleSetNeighbors(env *proto.Envelope) {
+	n.integrateNewcomer(env.Origin)
+}
+
+// integrateNewcomer recomputes vn with the newcomer in the candidate pool,
+// refreshes neighbours, and performs the close-neighbour and BLRn
+// exchanges of AddVoronoiRegion.
+func (n *Node) integrateNewcomer(j proto.NodeInfo) {
+	n.mu.Lock()
+	if !n.joined || j.Addr == n.self.Addr {
+		n.mu.Unlock()
+		return
+	}
+	pool := n.candidatePool()
+	pool[j.Addr] = j
+	changed := n.recomputeLocked(pool)
+
+	// Lemma 1 exchange: send the newcomer every close-neighbour candidate
+	// we can see (ourselves and our cn entries within dmin of it).
+	var cand []proto.NodeInfo
+	if geom.Dist(n.self.Pos, j.Pos) <= n.cfg.DMin {
+		cand = append(cand, n.self)
+	}
+	for _, c := range n.cn {
+		if geom.Dist(c.Pos, j.Pos) <= n.cfg.DMin {
+			cand = append(cand, c)
+		}
+	}
+	// BLRn handover: entries whose target is closer to the newcomer.
+	var transfer []proto.BackEntry
+	kept := n.back[:0]
+	for _, ref := range n.back {
+		if geom.Dist2(j.Pos, ref.Target) < geom.Dist2(n.self.Pos, ref.Target) {
+			transfer = append(transfer, ref)
+		} else {
+			kept = append(kept, ref)
+		}
+	}
+	n.back = kept
+	var vns []proto.NodeInfo
+	if changed {
+		vns = n.vnList()
+	}
+	dep := n.departedLocked()
+	n.mu.Unlock()
+
+	for _, v := range vns {
+		n.send(v.Addr, &proto.Envelope{Type: proto.KindNeighborList, From: n.self, Neighbors: vns, Departed: dep})
+	}
+	if len(cand) > 0 {
+		n.send(j.Addr, &proto.Envelope{Type: proto.KindCNAdd, From: n.self, CloseCand: cand})
+	}
+	if len(transfer) > 0 {
+		n.send(j.Addr, &proto.Envelope{Type: proto.KindBackTransfer, From: n.self, Back: transfer})
+		for _, ref := range transfer {
+			n.send(ref.Origin.Addr, &proto.Envelope{
+				Type: proto.KindLongLinkUpdate, From: n.self, Granter: j, Link: ref.Link,
+			})
+		}
+	}
+}
+
+// handleNeighborList refreshes the sender's entry in the two-hop table and
+// recomputes our own neighbourhood from the enriched pool. This is the
+// gossip step that makes views converge when a tessellation change reaches
+// past the responsible node's two-hop horizon: each refresh can surface a
+// true neighbour we had not seen (Delaunay edges present globally are
+// present in any candidate subset, so the local recompute can only gain
+// correct edges as the pool grows). A change in our own list is broadcast
+// in turn; broadcasts stop as soon as views are exact, so the exchange
+// terminates.
+func (n *Node) handleNeighborList(env *proto.Envelope) {
+	n.mu.Lock()
+	if !n.joined {
+		n.mu.Unlock()
+		return
+	}
+	mentionsUs := false
+	for _, v := range env.Neighbors {
+		if v.Addr == n.self.Addr {
+			mentionsUs = true
+			break
+		}
+	}
+	_, isNbr := n.vn[env.From.Addr]
+	if !isNbr && !mentionsUs {
+		n.mu.Unlock()
+		return
+	}
+	n.twoHop[env.From.Addr] = env.Neighbors
+	pool := n.candidatePool()
+	pool[env.From.Addr] = env.From
+	changed := n.recomputeLocked(pool)
+	_, nowNbr := n.vn[env.From.Addr]
+	var vns []proto.NodeInfo
+	if changed {
+		vns = n.vnList()
+	}
+	// Asymmetry repair: the sender believes we are its neighbour but our
+	// richer pool disagrees (its view holds a false edge). Send it our
+	// list: it carries the witness that invalidates the edge, so the
+	// sender's next recompute drops us and views converge.
+	var rebut []proto.NodeInfo
+	if mentionsUs && !nowNbr {
+		rebut = n.vnList()
+	}
+	dep := n.departedLocked()
+	n.mu.Unlock()
+	for _, v := range vns {
+		n.send(v.Addr, &proto.Envelope{Type: proto.KindNeighborList, From: n.self, Neighbors: vns, Departed: dep})
+	}
+	if rebut != nil {
+		n.send(env.From.Addr, &proto.Envelope{Type: proto.KindNeighborList, From: n.self, Neighbors: rebut, Departed: dep})
+	}
+}
+
+// handleCNAdd installs close-neighbour candidates, replying so the
+// relation stays symmetric. Replies are sent only for newly added
+// entries, which makes the exchange converge.
+func (n *Node) handleCNAdd(env *proto.Envelope) {
+	n.mu.Lock()
+	var replyTo []proto.NodeInfo
+	for _, c := range env.CloseCand {
+		if c.Addr == n.self.Addr {
+			continue
+		}
+		if geom.Dist(c.Pos, n.self.Pos) > n.cfg.DMin {
+			continue
+		}
+		if _, known := n.cn[c.Addr]; known {
+			continue
+		}
+		n.cn[c.Addr] = c
+		replyTo = append(replyTo, c)
+	}
+	self := n.self
+	n.mu.Unlock()
+	for _, c := range replyTo {
+		n.send(c.Addr, &proto.Envelope{Type: proto.KindCNAdd, From: self, CloseCand: []proto.NodeInfo{self}})
+	}
+}
+
+// handleLeave: a Voronoi neighbour departed; close the hole by
+// recomputing our neighbourhood without it (its old neighbour list, which
+// we hold in the two-hop table, supplies the hole's other border nodes).
+func (n *Node) handleLeave(env *proto.Envelope) {
+	n.mu.Lock()
+	if !n.joined {
+		n.mu.Unlock()
+		return
+	}
+	gone := env.From.Addr
+	n.tombstoneLocked(gone)
+	// Build the pool *before* dropping the departed node's list: its old
+	// neighbours are exactly the other border nodes of the hole.
+	pool := n.candidatePool()
+	delete(pool, gone)
+	delete(n.vn, gone)
+	delete(n.twoHop, gone)
+	delete(n.cn, gone)
+	n.recomputeLocked(pool)
+	vns := n.vnList()
+	dep := n.departedLocked()
+	n.mu.Unlock()
+	for _, v := range vns {
+		n.send(v.Addr, &proto.Envelope{
+			Type: proto.KindNeighborList, From: n.self, Neighbors: vns, Departed: dep,
+		})
+	}
+}
+
+// candidatePool gathers self + vn + two-hop nodes, excluding tombstoned
+// (departed) addresses. Caller holds n.mu.
+func (n *Node) candidatePool() map[string]proto.NodeInfo {
+	pool := make(map[string]proto.NodeInfo, 1+len(n.vn)*6)
+	pool[n.self.Addr] = n.self
+	for a, v := range n.vn {
+		if !n.tombs[a] {
+			pool[a] = v
+		}
+	}
+	for _, lst := range n.twoHop {
+		for _, v := range lst {
+			if _, ok := pool[v.Addr]; !ok && !n.tombs[v.Addr] {
+				pool[v.Addr] = v
+			}
+		}
+	}
+	return pool
+}
+
+// tombstoneLocked records a departure and evicts the address from all
+// views. Caller holds n.mu.
+func (n *Node) tombstoneLocked(addr string) {
+	if n.tombs[addr] {
+		return
+	}
+	n.tombs[addr] = true
+	n.tombOrder = append(n.tombOrder, addr)
+}
+
+// purgeTombstonedLocked removes tombstoned addresses from the live views.
+// Caller holds n.mu.
+func (n *Node) purgeTombstonedLocked() {
+	if len(n.tombs) == 0 {
+		return
+	}
+	for a := range n.vn {
+		if n.tombs[a] {
+			delete(n.vn, a)
+			delete(n.twoHop, a)
+		}
+	}
+	for a := range n.cn {
+		if n.tombs[a] {
+			delete(n.cn, a)
+		}
+	}
+}
+
+// maxAdvertisedTombs bounds how many departures ride on each gossip
+// message; older ones have long since propagated.
+const maxAdvertisedTombs = 64
+
+// departedLocked snapshots the most recent tombstones. Caller holds n.mu.
+func (n *Node) departedLocked() []string {
+	if len(n.tombOrder) == 0 {
+		return nil
+	}
+	start := 0
+	if len(n.tombOrder) > maxAdvertisedTombs {
+		start = len(n.tombOrder) - maxAdvertisedTombs
+	}
+	return append([]string(nil), n.tombOrder[start:]...)
+}
+
+// recomputeLocked rebuilds vn from the pool and reports whether the set
+// changed. Caller holds n.mu.
+func (n *Node) recomputeLocked(pool map[string]proto.NodeInfo) bool {
+	newVN := miniNeighbors(n.self, pool)
+	fresh := make(map[string]proto.NodeInfo, len(newVN))
+	for _, v := range newVN {
+		fresh[v.Addr] = v
+	}
+	changed := len(fresh) != len(n.vn)
+	if !changed {
+		for a := range fresh {
+			if _, ok := n.vn[a]; !ok {
+				changed = true
+				break
+			}
+		}
+	}
+	// Drop stale two-hop entries for nodes that left the neighbourhood.
+	for a := range n.twoHop {
+		if _, keep := fresh[a]; !keep {
+			delete(n.twoHop, a)
+		}
+	}
+	n.vn = fresh
+	return changed
+}
+
+// vnList snapshots vn as a slice. Caller holds n.mu.
+func (n *Node) vnList() []proto.NodeInfo {
+	out := make([]proto.NodeInfo, 0, len(n.vn))
+	for _, v := range n.vn {
+		out = append(out, v)
+	}
+	return out
+}
+
+// NearestKnown returns the closest node to p among this node's view
+// (including itself) — a local helper for diagnostics and examples.
+func (n *Node) NearestKnown(p geom.Point) proto.NodeInfo {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	best := n.self
+	bestD := geom.Dist2(n.self.Pos, p)
+	for _, v := range n.vn {
+		if d := geom.Dist2(v.Pos, p); d < bestD {
+			best, bestD = v, d
+		}
+	}
+	for _, v := range n.cn {
+		if d := geom.Dist2(v.Pos, p); d < bestD {
+			best, bestD = v, d
+		}
+	}
+	for _, v := range n.longNbrs {
+		if v.Addr == "" {
+			continue
+		}
+		if d := geom.Dist2(v.Pos, p); d < bestD {
+			best, bestD = v, d
+		}
+	}
+	if bestD == math.Inf(1) {
+		return n.self
+	}
+	return best
+}

@@ -1,0 +1,103 @@
+package node
+
+import (
+	"sort"
+	"testing"
+
+	"voronet/internal/geom"
+	"voronet/internal/proto"
+)
+
+func TestDistributedRangeQuery(t *testing.T) {
+	c := newCluster(t, 70, 0.02, 90)
+	a, b := geom.Pt(0.1, 0.55), geom.Pt(0.9, 0.55)
+
+	var hits []string
+	from := c.nodes[3]
+	if err := from.RangeQuery(a, b, func(owner proto.NodeInfo) {
+		hits = append(hits, owner.Addr)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.bus.Drain()
+
+	// Ground truth: owners of densely sampled segment points.
+	want := map[string]bool{}
+	for s := 0; s <= 3000; s++ {
+		f := float64(s) / 3000
+		p := geom.Pt(a.X+(b.X-a.X)*f, a.Y+(b.Y-a.Y)*f)
+		best := c.nodes[0].Info()
+		for _, nd := range c.nodes {
+			if geom.Dist2(nd.Info().Pos, p) < geom.Dist2(best.Pos, p) {
+				best = nd.Info()
+			}
+		}
+		want[best.Addr] = true
+	}
+	got := map[string]bool{}
+	for _, h := range hits {
+		if got[h] {
+			t.Fatalf("duplicate hit %s", h)
+		}
+		got[h] = true
+	}
+	for w := range want {
+		if !got[w] {
+			t.Fatalf("range flood missed owner %s", w)
+		}
+	}
+	// Every reported node's region must actually intersect the segment; we
+	// accept boundary-touching extras (the hit set may exceed the sampled
+	// owners only by regions grazing the segment).
+	if len(got) > len(want)+4 {
+		var g, w []string
+		for k := range got {
+			g = append(g, k)
+		}
+		for k := range want {
+			w = append(w, k)
+		}
+		sort.Strings(g)
+		sort.Strings(w)
+		t.Fatalf("too many hits: got %v want %v", g, w)
+	}
+}
+
+func TestDistributedRangeQueryTiny(t *testing.T) {
+	// Works on one- and two-node overlays.
+	c := newCluster(t, 1, 0.05, 91)
+	var hits int
+	if err := c.nodes[0].RangeQuery(geom.Pt(0, 0), geom.Pt(1, 1), func(proto.NodeInfo) {
+		hits++
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.bus.Drain()
+	if hits != 1 {
+		t.Fatalf("singleton overlay: %d hits", hits)
+	}
+
+	c2 := newCluster(t, 2, 0.05, 92)
+	hits = 0
+	if err := c2.nodes[1].RangeQuery(geom.Pt(0, 0), geom.Pt(1, 1), func(proto.NodeInfo) {
+		hits++
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c2.bus.Drain()
+	if hits < 1 || hits > 2 {
+		t.Fatalf("two-node overlay: %d hits", hits)
+	}
+}
+
+func TestRangeQueryRequiresJoin(t *testing.T) {
+	c := newCluster(t, 3, 0.05, 93)
+	nd := c.nodes[2]
+	if err := nd.Leave(); err != nil {
+		t.Fatal(err)
+	}
+	c.bus.Drain()
+	if err := nd.RangeQuery(geom.Pt(0, 0), geom.Pt(1, 1), func(proto.NodeInfo) {}); err != ErrNotJoined {
+		t.Fatalf("range query after leave: %v", err)
+	}
+}

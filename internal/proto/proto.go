@@ -1,0 +1,154 @@
+// Package proto defines the wire messages of the distributed VoroNet node
+// (internal/node): greedy-routed envelopes for joins, long-link
+// establishment and queries, plus the neighbourhood-maintenance messages of
+// §4.2 (AddVoronoiRegion / RemoveVoronoiRegion). Messages are encoded with
+// encoding/gob.
+//
+// The vocabulary follows the paper: a node's entry for another object
+// carries its address and its coordinates in the unit square (§3, "each
+// entry of the view is composed of the IP address of the node hosting the
+// object as well as its coordinates").
+package proto
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"voronet/internal/geom"
+)
+
+// NodeInfo identifies an object: transport address plus attribute-space
+// position.
+type NodeInfo struct {
+	Addr string
+	Pos  geom.Point
+}
+
+// Kind enumerates message types.
+type Kind int
+
+// Message kinds.
+const (
+	// KindRoute is a greedy-routed envelope carrying one of the routed
+	// purposes below toward Target.
+	KindRoute Kind = iota
+	// KindJoinGrant is sent by the owner of the join position to the
+	// joiner: its new view (Voronoi neighbours with their own neighbour
+	// lists, close-neighbour candidates, transferred BLRn entries).
+	KindJoinGrant
+	// KindSetNeighbors is sent by the node that recomputed a partial
+	// tessellation (join owner / leaving node) to an affected neighbour:
+	// the authoritative new Voronoi neighbour list of the recipient.
+	KindSetNeighbors
+	// KindNeighborList refreshes the sender's neighbour list in the
+	// recipient's two-hop table.
+	KindNeighborList
+	// KindCNAdd / KindCNRemove maintain symmetric close-neighbour sets.
+	KindCNAdd
+	KindCNRemove
+	// KindLongLinkGrant answers a routed long-link search: the owner of
+	// the target region grants the link and registers the back pointer.
+	KindLongLinkGrant
+	// KindBackTransfer hands over BLRn entries to a new region owner.
+	KindBackTransfer
+	// KindLongLinkUpdate tells a link's origin that its long-range
+	// neighbour changed (churn repair via the back link).
+	KindLongLinkUpdate
+	// KindLeave announces a departure to a Voronoi neighbour, carrying the
+	// recipient's recomputed neighbour list.
+	KindLeave
+	// KindLeaveCN announces a departure to a close neighbour.
+	KindLeaveCN
+	// KindQueryAnswer returns the owner of a queried point to the
+	// requester (AnswerQuery in Algorithm 4).
+	KindQueryAnswer
+	// KindBackWithdraw tells a BLRn holder to drop the sender's entry
+	// (the sender is leaving).
+	KindBackWithdraw
+	// KindRangeForward floods a range query along Voronoi neighbours whose
+	// regions intersect the segment [Target, TargetB].
+	KindRangeForward
+	// KindRangeHit reports one in-range object to the query origin.
+	KindRangeHit
+)
+
+// RoutedPurpose says why a KindRoute message is travelling.
+type RoutedPurpose int
+
+// Routed purposes.
+const (
+	// PurposeJoin locates the owner of a joining object's position.
+	PurposeJoin RoutedPurpose = iota
+	// PurposeLongLink locates the owner of a long-link target (Algorithm 2).
+	PurposeLongLink
+	// PurposeQuery locates the owner of a query point (Algorithm 4).
+	PurposeQuery
+	// PurposeRange locates the owner of a segment's start, then floods
+	// along the objects whose regions intersect the segment (§7,
+	// perspective 1). Target is the segment start, TargetB its end.
+	PurposeRange
+)
+
+// BackEntry is one BLRn element on the wire: the origin object, which of
+// its links this is, and the link's immutable target point.
+type BackEntry struct {
+	Origin NodeInfo
+	Link   int
+	Target geom.Point
+}
+
+// NeighborRecord pairs a node with its own Voronoi neighbour list — the
+// "neighbours' neighbours" knowledge of §4.1.
+type NeighborRecord struct {
+	Node NodeInfo
+	VN   []NodeInfo
+}
+
+// Envelope is the single wire message. Fields are populated according to
+// Type; gob omits empty ones cheaply.
+type Envelope struct {
+	Type Kind
+	From NodeInfo
+
+	// Routing (KindRoute).
+	Purpose RoutedPurpose
+	Target  geom.Point
+	TargetB geom.Point // segment end for PurposeRange / KindRangeForward
+	Origin  NodeInfo   // the node the answer should reach
+	Link    int        // long-link index for PurposeLongLink
+	Hops    int        // accumulated Greedyneighbour count
+	QueryID uint64     // correlates PurposeQuery with KindQueryAnswer
+
+	// Views (KindJoinGrant, KindSetNeighbors, KindNeighborList).
+	Neighbors []NodeInfo       // new vn list for the recipient
+	TwoHop    []NeighborRecord // neighbour lists of those neighbours
+	CloseCand []NodeInfo       // close-neighbour candidates (Lemma 1)
+	Back      []BackEntry      // transferred BLRn entries
+
+	// Long links (KindLongLinkGrant, KindLongLinkUpdate).
+	Granter NodeInfo
+
+	// Departed carries the sender's recently seen departures; recipients
+	// merge them into their tombstone sets so that stale two-hop gossip
+	// cannot resurrect a dead neighbour.
+	Departed []string
+}
+
+// Encode serialises an envelope with gob.
+func Encode(e *Envelope) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(e); err != nil {
+		return nil, fmt.Errorf("proto: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode deserialises an envelope.
+func Decode(b []byte) (*Envelope, error) {
+	var e Envelope
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&e); err != nil {
+		return nil, fmt.Errorf("proto: decode: %w", err)
+	}
+	return &e, nil
+}

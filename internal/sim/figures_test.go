@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// Shape tests pinning the paper's qualitative claims at test scale. These
+// run the exact code paths of the full-size reproductions in EXPERIMENTS.md
+// and fail if a regression changes who wins or where curves bend.
+
+func TestFig5LowAndMidSkewEquivalent(t *testing.T) {
+	// §5: "Results for low and mid-sparse distributions are equivalent."
+	h1, err := DegreeExperiment{N: 4000, Distribution: "alpha1", Seed: 81}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := DegreeExperiment{N: 4000, Distribution: "alpha2", Seed: 81}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h1.Mean()-h2.Mean()) > 0.1 {
+		t.Fatalf("alpha1 mean %.3f vs alpha2 mean %.3f", h1.Mean(), h2.Mean())
+	}
+	m1, _ := h1.Mode()
+	m2, _ := h2.Mode()
+	if m1 != m2 {
+		t.Fatalf("modes differ: %d vs %d", m1, m2)
+	}
+}
+
+func TestFig8KneeAroundSixLinks(t *testing.T) {
+	// Fig 8: "the impact is the most significant up to 6 long range
+	// neighbours". Compare marginal gains 1->4 and 6->9 at test scale.
+	hops := map[int]float64{}
+	for _, k := range []int{1, 4, 6, 9} {
+		pts, err := RouteExperiment{
+			MaxN: 4000, Samples: 600, Distribution: "uniform",
+			LongLinks: k, DisableCloseNeighbours: true, Seed: 82,
+		}.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		hops[k] = pts[len(pts)-1].MeanHops
+	}
+	if !(hops[1] > hops[4] && hops[4] > hops[6] && hops[6] > hops[9]) {
+		t.Fatalf("hops not monotone in k: %v", hops)
+	}
+	gainEarly := (hops[1] - hops[4]) / 3
+	gainLate := (hops[6] - hops[9]) / 3
+	if gainEarly <= gainLate {
+		t.Fatalf("no diminishing returns: early %.2f/link, late %.2f/link", gainEarly, gainLate)
+	}
+}
+
+func TestFig7SlopeAtTestScale(t *testing.T) {
+	pts, err := RouteExperiment{
+		MaxN: 8000, Checkpoint: 1000, Samples: 500,
+		Distribution: "uniform", DisableCloseNeighbours: true, Seed: 83,
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit := FitPolylog(pts)
+	if fit.R2 < 0.8 {
+		t.Fatalf("log H vs log log N not linear: R²=%.3f", fit.R2)
+	}
+	if fit.Slope < 1.2 || fit.Slope < 0 {
+		t.Fatalf("slope %.2f too shallow for a log² mechanism", fit.Slope)
+	}
+	t.Logf("test-scale polylog fit: slope=%.2f R²=%.3f", fit.Slope, fit.R2)
+}
+
+func TestWorkersDoNotChangeResults(t *testing.T) {
+	// The parallel measurement path must be observationally identical.
+	base := RouteExperiment{
+		MaxN: 3000, Samples: 400, Distribution: "alpha2",
+		DisableCloseNeighbours: true, Seed: 84,
+	}
+	seq := base
+	seq.Workers = 1
+	par := base
+	par.Workers = 4
+	a, err := seq.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := par.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].MeanHops != b[i].MeanHops || a[i].Samples != b[i].Samples {
+			t.Fatalf("checkpoint %d: %.3f/%d vs %.3f/%d", i,
+				a[i].MeanHops, a[i].Samples, b[i].MeanHops, b[i].Samples)
+		}
+	}
+}

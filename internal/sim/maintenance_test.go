@@ -1,0 +1,82 @@
+package sim
+
+import "testing"
+
+func TestMaintenanceCostsScale(t *testing.T) {
+	// With clamped long-link targets the paper's O(1)-maintenance analysis
+	// holds empirically; the unclamped (paper-literal) variant is measured
+	// below and its hull pile-up documented in EXPERIMENTS.md.
+	pts, err := MaintenanceExperiment{
+		Sizes:           []int{1000, 4000, 16000},
+		Ops:             150,
+		Distribution:    "uniform",
+		InteriorTargets: true,
+		Seed:            61,
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points: %d", len(pts))
+	}
+	small, large := pts[0], pts[2]
+
+	// Routing part of a join grows (poly-logarithmically) with N...
+	if large.JoinRouteSteps <= small.JoinRouteSteps {
+		t.Errorf("join route steps should grow with N: %.1f -> %.1f",
+			small.JoinRouteSteps, large.JoinRouteSteps)
+	}
+	// ...but far slower than sqrt scaling (x4 for a 16x size increase).
+	if large.JoinRouteSteps > 3*small.JoinRouteSteps {
+		t.Errorf("join route steps grew polynomially: %.1f -> %.1f",
+			small.JoinRouteSteps, large.JoinRouteSteps)
+	}
+	// Maintenance is O(1): no systematic growth (generous 2x headroom for
+	// sampling noise).
+	if large.JoinMaintenance > 2*small.JoinMaintenance {
+		t.Errorf("join maintenance not O(1): %.1f -> %.1f",
+			small.JoinMaintenance, large.JoinMaintenance)
+	}
+	if large.LeaveMaintenance > 2*small.LeaveMaintenance {
+		t.Errorf("leave maintenance not O(1): %.1f -> %.1f",
+			small.LeaveMaintenance, large.LeaveMaintenance)
+	}
+	// Fictive objects per join: Algorithm 1 uses at most 1, plus 2 per
+	// long link (Algorithm 2), here k=1 => at most 3.
+	if large.FictivePerJoin <= 0 || large.FictivePerJoin > 3 {
+		t.Errorf("fictive inserts per join: %.2f", large.FictivePerJoin)
+	}
+}
+
+func TestMaintenanceHullPileUpWithoutClamping(t *testing.T) {
+	// Paper-literal targets (LRt may leave the unit square): exterior
+	// targets pile onto the few hull objects and the fictive-object
+	// shuffle drags join maintenance up with N. This test pins the
+	// finding: unclamped join maintenance grows markedly while the
+	// clamped variant stays flat.
+	sizes := []int{1000, 16000}
+	unclamped, err := MaintenanceExperiment{
+		Sizes: sizes, Ops: 120, Distribution: "uniform", Seed: 62,
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clamped, err := MaintenanceExperiment{
+		Sizes: sizes, Ops: 120, Distribution: "uniform", InteriorTargets: true, Seed: 62,
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	growU := unclamped[1].JoinMaintenance / unclamped[0].JoinMaintenance
+	growC := clamped[1].JoinMaintenance / clamped[0].JoinMaintenance
+	t.Logf("join maintenance growth 1k->16k: unclamped %.2fx, clamped %.2fx", growU, growC)
+	if growU < growC {
+		t.Errorf("expected the unclamped hull pile-up to dominate: %.2fx vs %.2fx", growU, growC)
+	}
+}
+
+func TestMaintenanceExperimentErrors(t *testing.T) {
+	if _, err := (MaintenanceExperiment{Sizes: []int{10}, Distribution: "nope"}).Run(); err == nil {
+		t.Fatal("unknown distribution must error")
+	}
+}

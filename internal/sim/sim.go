@@ -1,0 +1,183 @@
+// Package sim is the experiment engine that regenerates the paper's
+// evaluation (§5): it grows VoroNet overlays under the paper's object
+// distributions, takes checkpoints, measures degree distributions and
+// greedy route lengths, and emits the rows/series behind Figures 5–8.
+//
+// Every experiment is deterministic given its seed, and every knob the
+// paper fixes (300 000 objects, checkpoints every 10 000 inserts, 100 000
+// route samples) is a parameter here so tests and benchmarks can run
+// scaled-down instances of the same code path.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"voronet/internal/core"
+	"voronet/internal/stats"
+	"voronet/internal/workload"
+)
+
+// DegreeExperiment reproduces Fig 5: the distribution of |vn(o)| after N
+// objects have been inserted under a given distribution.
+type DegreeExperiment struct {
+	N            int
+	Distribution string
+	Seed         int64
+}
+
+// Run executes the experiment and returns the out-degree histogram.
+func (e DegreeExperiment) Run() (*stats.Histogram, error) {
+	rng := rand.New(rand.NewSource(e.Seed))
+	src := workload.ByName(e.Distribution, rng)
+	if src == nil {
+		return nil, fmt.Errorf("sim: unknown distribution %q", e.Distribution)
+	}
+	ov := core.New(core.Config{NMax: e.N, Seed: e.Seed + 1})
+	if err := grow(ov, src, e.N); err != nil {
+		return nil, err
+	}
+	h := stats.NewHistogram()
+	ov.ForEachObject(func(obj *core.Object) bool {
+		d, _ := ov.Degree(obj.ID)
+		h.Add(d)
+		return true
+	})
+	return h, nil
+}
+
+// RoutePoint is one checkpoint of a route-length experiment.
+type RoutePoint struct {
+	N        int     // overlay size at the checkpoint
+	MeanHops float64 // mean greedy hops over the sampled pairs
+	StdHops  float64
+	Samples  int
+}
+
+// RouteExperiment reproduces one curve of Fig 6 / Fig 8: mean greedy route
+// length between random object couples as the overlay grows.
+type RouteExperiment struct {
+	// MaxN is the final overlay size (paper: 300 000).
+	MaxN int
+	// Checkpoint is the growth step between measurements (paper: 10 000).
+	Checkpoint int
+	// Samples is the number of random ordered couples per checkpoint
+	// (paper: 100 000; means converge far earlier).
+	Samples int
+	// Distribution names the workload (see workload.ByName).
+	Distribution string
+	// LongLinks is the number of long-range links per object (Fig 8).
+	LongLinks int
+	// LongLinkExponent overrides the harmonic exponent (ablation A3).
+	LongLinkExponent float64
+	// DisableCloseNeighbours / DisableLongLinks are the ablation knobs.
+	DisableCloseNeighbours bool
+	DisableLongLinks       bool
+	// Workers routes the samples of each checkpoint over this many
+	// goroutines (0 = GOMAXPROCS; 1 = sequential). Results are identical
+	// regardless of the worker count.
+	Workers int
+	Seed    int64
+}
+
+// Run grows the overlay and measures each checkpoint.
+func (e RouteExperiment) Run() ([]RoutePoint, error) {
+	if e.Checkpoint <= 0 {
+		e.Checkpoint = e.MaxN
+	}
+	rng := rand.New(rand.NewSource(e.Seed))
+	src := workload.ByName(e.Distribution, rng)
+	if src == nil {
+		return nil, fmt.Errorf("sim: unknown distribution %q", e.Distribution)
+	}
+	ov := core.New(core.Config{
+		NMax:                   e.MaxN,
+		LongLinks:              e.LongLinks,
+		LongLinkExponent:       e.LongLinkExponent,
+		Seed:                   e.Seed + 1,
+		DisableCloseNeighbours: e.DisableCloseNeighbours,
+		DisableLongLinks:       e.DisableLongLinks,
+	})
+	measRng := rand.New(rand.NewSource(e.Seed + 2))
+	var points []RoutePoint
+	for n := e.Checkpoint; n <= e.MaxN; n += e.Checkpoint {
+		if err := grow(ov, src, n); err != nil {
+			return nil, err
+		}
+		pairs := make([]core.RoutePair, 0, e.Samples)
+		for s := 0; s < e.Samples; s++ {
+			a, err := ov.RandomObject(measRng)
+			if err != nil {
+				return nil, err
+			}
+			b, err := ov.RandomObject(measRng)
+			if err != nil {
+				return nil, err
+			}
+			if a == b {
+				continue
+			}
+			pairs = append(pairs, core.RoutePair{From: a, To: b})
+		}
+		hops, _, err := ov.MeasureRoutes(pairs, e.Workers)
+		if err != nil {
+			return nil, err
+		}
+		var agg stats.Running
+		for _, h := range hops {
+			agg.Add(float64(h))
+		}
+		points = append(points, RoutePoint{
+			N: ov.Len(), MeanHops: agg.Mean(), StdHops: agg.Std(), Samples: agg.N(),
+		})
+	}
+	return points, nil
+}
+
+// grow inserts objects from src until the overlay holds n objects.
+func grow(ov *core.Overlay, src workload.Source, n int) error {
+	for ov.Len() < n {
+		_, err := ov.Insert(src.Next())
+		if err != nil && !errors.Is(err, core.ErrDuplicate) {
+			return err
+		}
+	}
+	return nil
+}
+
+// FitPolylog fits log(H) = x·log(log(N)) + c over the checkpoints — the
+// Fig 7 analysis. The returned slope is the paper's exponent x ≈ 2.
+func FitPolylog(points []RoutePoint) stats.Fit {
+	var xs, ys []float64
+	for _, p := range points {
+		if p.N < 3 || p.MeanHops <= 0 {
+			continue
+		}
+		xs = append(xs, math.Log(math.Log(float64(p.N))))
+		ys = append(ys, math.Log(p.MeanHops))
+	}
+	return stats.LinearFit(xs, ys)
+}
+
+// WriteSeries renders checkpoints as TSV rows "N\tmeanHops\tstdHops",
+// the data behind one curve of Fig 6 / Fig 8.
+func WriteSeries(w io.Writer, label string, points []RoutePoint) error {
+	if _, err := fmt.Fprintf(w, "# %s\n", label); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if _, err := fmt.Fprintf(w, "%d\t%.3f\t%.3f\n", p.N, p.MeanHops, p.StdHops); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fig5Distributions are the two panels of Fig 5.
+var Fig5Distributions = []string{"uniform", "alpha5"}
+
+// Fig6Distributions are the four curves of Fig 6/7.
+var Fig6Distributions = []string{"uniform", "alpha1", "alpha2", "alpha5"}

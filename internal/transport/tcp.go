@@ -1,0 +1,205 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCPEndpoint is a transport endpoint over TCP. Each message is a
+// length-prefixed frame carrying the sender address and the payload.
+// Connections are dialled on demand and cached; inbound messages are
+// dispatched to the handler from per-connection goroutines, serialised by
+// an internal mutex so node code never sees concurrent deliveries.
+type TCPEndpoint struct {
+	ln       net.Listener
+	mu       sync.Mutex // guards conns/inbound + handler installation
+	conns    map[string]net.Conn
+	inbound  map[net.Conn]struct{}
+	handler  Handler
+	dispatch sync.Mutex // serialises handler invocations
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// MaxFrame is the largest accepted message frame (1 MiB); VoroNet views
+// are O(1) so real frames are tiny.
+const MaxFrame = 1 << 20
+
+// ListenTCP starts an endpoint on the given address ("127.0.0.1:0" picks a
+// free port).
+func ListenTCP(addr string) (*TCPEndpoint, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	ep := &TCPEndpoint{
+		ln:      ln,
+		conns:   make(map[string]net.Conn),
+		inbound: make(map[net.Conn]struct{}),
+	}
+	ep.wg.Add(1)
+	go ep.acceptLoop()
+	return ep, nil
+}
+
+// Addr returns the listening address.
+func (e *TCPEndpoint) Addr() string { return e.ln.Addr().String() }
+
+// SetHandler installs the inbound handler.
+func (e *TCPEndpoint) SetHandler(h Handler) {
+	e.mu.Lock()
+	e.handler = h
+	e.mu.Unlock()
+}
+
+func (e *TCPEndpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		c, err := e.ln.Accept()
+		if err != nil {
+			return
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			c.Close()
+			return
+		}
+		e.inbound[c] = struct{}{}
+		e.mu.Unlock()
+		e.wg.Add(1)
+		go e.readLoop(c)
+	}
+}
+
+func (e *TCPEndpoint) readLoop(c net.Conn) {
+	defer e.wg.Done()
+	defer func() {
+		c.Close()
+		e.mu.Lock()
+		delete(e.inbound, c)
+		e.mu.Unlock()
+	}()
+	r := bufio.NewReader(c)
+	for {
+		from, payload, err := readFrame(r)
+		if err != nil {
+			return
+		}
+		e.mu.Lock()
+		h := e.handler
+		e.mu.Unlock()
+		if h != nil {
+			e.dispatch.Lock()
+			h(from, payload)
+			e.dispatch.Unlock()
+		}
+	}
+}
+
+// Send dials (or reuses) a connection to the peer and writes one frame.
+func (e *TCPEndpoint) Send(to string, payload []byte) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return errors.New("transport: endpoint closed")
+	}
+	c, ok := e.conns[to]
+	e.mu.Unlock()
+	if !ok {
+		nc, err := net.Dial("tcp", to)
+		if err != nil {
+			return fmt.Errorf("transport: dial %s: %w", to, err)
+		}
+		e.mu.Lock()
+		if existing, dup := e.conns[to]; dup {
+			nc.Close()
+			c = existing
+		} else {
+			e.conns[to] = nc
+			c = nc
+		}
+		e.mu.Unlock()
+	}
+	if err := writeFrame(c, e.Addr(), payload); err != nil {
+		e.mu.Lock()
+		delete(e.conns, to)
+		e.mu.Unlock()
+		c.Close()
+		return err
+	}
+	return nil
+}
+
+// Close shuts the endpoint down, tearing down outbound and inbound
+// connections and waiting for the reader goroutines to drain.
+func (e *TCPEndpoint) Close() error {
+	e.mu.Lock()
+	e.closed = true
+	for _, c := range e.conns {
+		c.Close()
+	}
+	e.conns = map[string]net.Conn{}
+	for c := range e.inbound {
+		c.Close()
+	}
+	e.mu.Unlock()
+	err := e.ln.Close()
+	e.wg.Wait()
+	return err
+}
+
+// Frame format: u32 fromLen | from | u32 payloadLen | payload.
+
+func writeFrame(w io.Writer, from string, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(from)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, from); err != nil {
+		return err
+	}
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) (from string, payload []byte, err error) {
+	var hdr [4]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		err = errors.New("transport: oversized frame")
+		return
+	}
+	fb := make([]byte, n)
+	if _, err = io.ReadFull(r, fb); err != nil {
+		return
+	}
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return
+	}
+	n = binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		err = errors.New("transport: oversized frame")
+		return
+	}
+	payload = make([]byte, n)
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return
+	}
+	return string(fb), payload, nil
+}
+
+var _ Endpoint = (*TCPEndpoint)(nil)

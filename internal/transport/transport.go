@@ -1,0 +1,143 @@
+// Package transport carries opaque messages between VoroNet nodes. Two
+// implementations are provided: a deterministic in-memory bus for protocol
+// tests and simulation, and a TCP transport (net) for real deployments.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Handler processes an inbound message.
+type Handler func(from string, payload []byte)
+
+// Endpoint is one node's attachment to a transport.
+type Endpoint interface {
+	// Addr is this endpoint's address, routable by peers.
+	Addr() string
+	// Send delivers payload to the endpoint with address `to`.
+	Send(to string, payload []byte) error
+	// SetHandler installs the inbound message handler. Must be called
+	// before any message can be delivered.
+	SetHandler(h Handler)
+	// Close detaches the endpoint.
+	Close() error
+}
+
+// ErrUnknownPeer reports a send to an address that is not attached.
+var ErrUnknownPeer = errors.New("transport: unknown peer")
+
+// Bus is an in-memory message bus with FIFO delivery. Messages are queued
+// and delivered by Drain in deterministic order, which makes distributed
+// protocol runs reproducible and free of re-entrancy.
+type Bus struct {
+	mu    sync.Mutex
+	peers map[string]*busEndpoint
+	queue []busMsg
+	// Delivered counts messages delivered since creation (protocol cost
+	// measurements).
+	Delivered uint64
+	// DropRate in [0,1] silently drops a deterministic fraction of
+	// messages (failure injection in tests). The counter increments on
+	// drops too.
+	DropRate float64
+	dropSeq  uint64
+}
+
+type busMsg struct {
+	from, to string
+	payload  []byte
+}
+
+type busEndpoint struct {
+	bus     *Bus
+	addr    string
+	handler Handler
+	closed  bool
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus {
+	return &Bus{peers: make(map[string]*busEndpoint)}
+}
+
+// Attach creates an endpoint with the given address.
+func (b *Bus) Attach(addr string) (Endpoint, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, dup := b.peers[addr]; dup {
+		return nil, fmt.Errorf("transport: address %q already attached", addr)
+	}
+	ep := &busEndpoint{bus: b, addr: addr}
+	b.peers[addr] = ep
+	return ep, nil
+}
+
+// Drain delivers queued messages (including ones enqueued by handlers
+// during the drain) until the queue is empty. It returns the number of
+// messages delivered.
+func (b *Bus) Drain() int {
+	n := 0
+	for {
+		b.mu.Lock()
+		if len(b.queue) == 0 {
+			b.mu.Unlock()
+			return n
+		}
+		m := b.queue[0]
+		b.queue = b.queue[1:]
+		ep := b.peers[m.to]
+		drop := false
+		if b.DropRate > 0 {
+			b.dropSeq++
+			// Deterministic drop pattern: every k-th message where
+			// k = 1/DropRate.
+			if b.DropRate >= 1 || b.dropSeq%uint64(1/b.DropRate+0.5) == 0 {
+				drop = true
+			}
+		}
+		b.Delivered++
+		b.mu.Unlock()
+		if ep != nil && ep.handler != nil && !drop {
+			ep.handler(m.from, m.payload)
+		}
+		n++
+	}
+}
+
+// Pending returns the number of undelivered messages.
+func (b *Bus) Pending() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.queue)
+}
+
+func (e *busEndpoint) Addr() string { return e.addr }
+
+func (e *busEndpoint) Send(to string, payload []byte) error {
+	b := e.bus
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if e.closed {
+		return errors.New("transport: endpoint closed")
+	}
+	if _, ok := b.peers[to]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownPeer, to)
+	}
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	b.queue = append(b.queue, busMsg{from: e.addr, to: to, payload: cp})
+	return nil
+}
+
+func (e *busEndpoint) SetHandler(h Handler) { e.handler = h }
+
+func (e *busEndpoint) Close() error {
+	b := e.bus
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e.closed = true
+	delete(b.peers, e.addr)
+	return nil
+}

@@ -1,0 +1,193 @@
+// Package viz renders VoroNet overlays as standalone SVG documents:
+// objects, Delaunay edges, Voronoi cell boundaries, long-range links and
+// routes. It exists for debugging and documentation — a tessellation bug
+// or a routing pathology is obvious at a glance — and mirrors the
+// figures of the paper (Fig 1–3 are exactly such drawings).
+package viz
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"voronet/internal/core"
+	"voronet/internal/geom"
+)
+
+// Options controls the rendering.
+type Options struct {
+	// SizePx is the output width and height in pixels (default 800).
+	SizePx int
+	// DrawDelaunay draws the object-to-object (Voronoi neighbour) edges.
+	DrawDelaunay bool
+	// DrawVoronoi draws the Voronoi cell boundaries.
+	DrawVoronoi bool
+	// DrawLongLinks draws each object's long-range links.
+	DrawLongLinks bool
+	// Route, if non-empty, is a sequence of object IDs drawn as a bold
+	// polyline (use RoutePath to capture one).
+	Route []core.ObjectID
+	// Title is an optional caption.
+	Title string
+}
+
+// DefaultOptions renders Delaunay edges and cells at 800×800.
+func DefaultOptions() Options {
+	return Options{SizePx: 800, DrawDelaunay: true, DrawVoronoi: true}
+}
+
+// WriteSVG renders the overlay to w.
+func WriteSVG(w io.Writer, ov *core.Overlay, opt Options) error {
+	if opt.SizePx <= 0 {
+		opt.SizePx = 800
+	}
+	s := float64(opt.SizePx)
+	// The attribute space is the unit square; SVG y grows downward, so
+	// flip the y axis to keep the mathematical orientation.
+	tx := func(p geom.Point) (float64, float64) { return p.X * s, (1 - p.Y) * s }
+
+	var err error
+	pr := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	pr(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		opt.SizePx, opt.SizePx, opt.SizePx, opt.SizePx)
+	pr(`<rect width="%d" height="%d" fill="white"/>`+"\n", opt.SizePx, opt.SizePx)
+
+	// Voronoi cells (clipped to the drawing square).
+	if opt.DrawVoronoi {
+		pr(`<g stroke="#b9d4ef" stroke-width="0.7" fill="none">` + "\n")
+		ov.ForEachObject(func(o *core.Object) bool {
+			poly := ov.Cell(o.ID)
+			if len(poly) < 3 {
+				return true
+			}
+			pr(`<polygon points="`)
+			for _, p := range poly {
+				x, y := tx(p.ClampUnitSquare())
+				pr("%.2f,%.2f ", x, y)
+			}
+			pr(`"/>` + "\n")
+			return true
+		})
+		pr("</g>\n")
+	}
+
+	// Delaunay edges (each drawn once).
+	if opt.DrawDelaunay {
+		pr(`<g stroke="#888888" stroke-width="0.8">` + "\n")
+		var buf []core.ObjectID
+		ov.ForEachObject(func(o *core.Object) bool {
+			buf, _ = ov.VoronoiNeighbors(o.ID, buf)
+			for _, nid := range buf {
+				if nid <= o.ID {
+					continue
+				}
+				q, _ := ov.Position(nid)
+				x1, y1 := tx(o.Pos)
+				x2, y2 := tx(q)
+				pr(`<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f"/>`+"\n", x1, y1, x2, y2)
+			}
+			return true
+		})
+		pr("</g>\n")
+	}
+
+	// Long-range links.
+	if opt.DrawLongLinks {
+		pr(`<g stroke="#e08030" stroke-width="0.6" stroke-dasharray="4 3" opacity="0.7">` + "\n")
+		ov.ForEachObject(func(o *core.Object) bool {
+			ln, _ := ov.LongNeighbors(o.ID)
+			for _, nid := range ln {
+				if nid == o.ID || nid == core.NoObject {
+					continue
+				}
+				q, _ := ov.Position(nid)
+				x1, y1 := tx(o.Pos)
+				x2, y2 := tx(q)
+				pr(`<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f"/>`+"\n", x1, y1, x2, y2)
+			}
+			return true
+		})
+		pr("</g>\n")
+	}
+
+	// Route overlay.
+	if len(opt.Route) > 1 {
+		pr(`<polyline fill="none" stroke="#c02020" stroke-width="2.2" points="`)
+		for _, id := range opt.Route {
+			p, perr := ov.Position(id)
+			if perr != nil {
+				continue
+			}
+			x, y := tx(p)
+			pr("%.2f,%.2f ", x, y)
+		}
+		pr(`"/>` + "\n")
+	}
+
+	// Objects on top.
+	pr(`<g fill="#1a3a5c">` + "\n")
+	ov.ForEachObject(func(o *core.Object) bool {
+		x, y := tx(o.Pos)
+		pr(`<circle cx="%.2f" cy="%.2f" r="2.0"/>`+"\n", x, y)
+		return true
+	})
+	pr("</g>\n")
+
+	if opt.Title != "" {
+		pr(`<text x="10" y="20" font-family="sans-serif" font-size="14">%s</text>`+"\n", opt.Title)
+	}
+	pr("</svg>\n")
+	return err
+}
+
+// RoutePath replays the greedy route between two objects and returns the
+// sequence of objects visited (inclusive of both endpoints), for rendering
+// with Options.Route.
+func RoutePath(ov *core.Overlay, from, to core.ObjectID) ([]core.ObjectID, error) {
+	path := []core.ObjectID{from}
+	cur := from
+	tgt, err := ov.Position(to)
+	if err != nil {
+		return nil, err
+	}
+	for cur != to {
+		next, err := ov.GreedyNeighbor(cur, tgt)
+		if err != nil {
+			return nil, err
+		}
+		if next == core.NoObject {
+			return path, fmt.Errorf("viz: route stalled at %d", cur)
+		}
+		path = append(path, next)
+		cur = next
+		if len(path) > ov.Len()+1 {
+			return path, fmt.Errorf("viz: route too long")
+		}
+	}
+	return path, nil
+}
+
+// DegreeLegend summarises the degree distribution as an SVG-embeddable
+// caption string (handy for titles).
+func DegreeLegend(ov *core.Overlay) string {
+	counts := map[int]int{}
+	ov.ForEachObject(func(o *core.Object) bool {
+		d, _ := ov.Degree(o.ID)
+		counts[d]++
+		return true
+	})
+	var keys []int
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := "degree:"
+	for _, k := range keys {
+		out += fmt.Sprintf(" %d×%d", k, counts[k])
+	}
+	return out
+}

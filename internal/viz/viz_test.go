@@ -1,0 +1,96 @@
+package viz
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"voronet/internal/core"
+	"voronet/internal/geom"
+)
+
+func buildOverlay(t *testing.T, n int) (*core.Overlay, []core.ObjectID) {
+	t.Helper()
+	ov := core.New(core.Config{NMax: 1000, Seed: 3})
+	rng := rand.New(rand.NewSource(4))
+	var ids []core.ObjectID
+	for len(ids) < n {
+		id, err := ov.Insert(geom.Pt(rng.Float64(), rng.Float64()))
+		if err != nil {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	return ov, ids
+}
+
+func TestWriteSVGContainsAllLayers(t *testing.T) {
+	ov, ids := buildOverlay(t, 60)
+	path, err := RoutePath(ov, ids[0], ids[30])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) < 2 || path[0] != ids[0] || path[len(path)-1] != ids[30] {
+		t.Fatalf("route path endpoints wrong: %v", path)
+	}
+
+	var b strings.Builder
+	opt := DefaultOptions()
+	opt.DrawLongLinks = true
+	opt.Route = path
+	opt.Title = "test overlay"
+	if err := WriteSVG(&b, ov, opt); err != nil {
+		t.Fatal(err)
+	}
+	svg := b.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "<polygon", "<line", "<circle", "<polyline", "test overlay",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// One circle per object.
+	if got := strings.Count(svg, "<circle"); got != 60 {
+		t.Errorf("%d circles for 60 objects", got)
+	}
+	// Polyline points count equals route length.
+	if !strings.Contains(svg, `stroke="#c02020"`) {
+		t.Error("route layer missing")
+	}
+}
+
+func TestWriteSVGMinimalOptions(t *testing.T) {
+	ov, _ := buildOverlay(t, 10)
+	var b strings.Builder
+	if err := WriteSVG(&b, ov, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	svg := b.String()
+	if strings.Contains(svg, "<polygon") || strings.Contains(svg, "<line") {
+		t.Error("layers drawn despite being disabled")
+	}
+	if !strings.Contains(svg, `width="800"`) {
+		t.Error("default size not applied")
+	}
+}
+
+func TestRoutePathErrors(t *testing.T) {
+	ov, ids := buildOverlay(t, 10)
+	if _, err := RoutePath(ov, ids[0], 424242); err == nil {
+		t.Fatal("route to missing object must fail")
+	}
+	// Self route.
+	p, err := RoutePath(ov, ids[3], ids[3])
+	if err != nil || len(p) != 1 {
+		t.Fatalf("self route: %v %v", p, err)
+	}
+}
+
+func TestDegreeLegend(t *testing.T) {
+	ov, _ := buildOverlay(t, 30)
+	leg := DegreeLegend(ov)
+	if !strings.HasPrefix(leg, "degree:") || !strings.Contains(leg, "×") {
+		t.Fatalf("legend: %q", leg)
+	}
+}

@@ -1,0 +1,233 @@
+// Package voronoi provides a Voronoi-diagram view over a Delaunay
+// triangulation: cell polygons, point-in-region tests and the paper's
+// DistanceToRegion primitive (§4.2.3), which greedy routing evaluates at
+// every step of Algorithm 5.
+//
+// Cells are computed on demand by halfplane intersection against the
+// triangulation's neighbour sets; unbounded cells of hull sites are clipped
+// against a large bounding box. The box is far larger than the VoroNet
+// attribute domain (the unit square plus the √2-radius band reachable by
+// long-range targets), so clipping never changes any distance the protocol
+// evaluates.
+package voronoi
+
+import (
+	"math"
+
+	"voronet/internal/delaunay"
+	"voronet/internal/geom"
+)
+
+// DefaultBound is the half-extent of the clipping box, centred on (0.5,
+// 0.5). Coordinates VoroNet manipulates stay within [-√2, 1+√2].
+const DefaultBound = 8.0
+
+// Diagram is a Voronoi view over a triangulation. It holds scratch buffers
+// and is not safe for concurrent use; create one per goroutine.
+type Diagram struct {
+	tr   *delaunay.Triangulation
+	lo   float64
+	hi   float64
+	bufA []geom.Point
+	bufB []geom.Point
+	nbuf []delaunay.VertexID
+}
+
+// New returns a Voronoi view of tr with the default clipping box.
+func New(tr *delaunay.Triangulation) *Diagram {
+	return &Diagram{tr: tr, lo: 0.5 - DefaultBound, hi: 0.5 + DefaultBound}
+}
+
+// Cell returns the Voronoi region of site v as a convex counterclockwise
+// polygon, clipped to the diagram's bounding box. The slice is reused by
+// subsequent calls; copy it if it must persist.
+//
+// With fewer than two sites (or in degenerate collinear mode) cells are
+// still well defined as halfplane intersections of the site's chain
+// neighbours.
+func (d *Diagram) Cell(v delaunay.VertexID) []geom.Point {
+	o := d.tr.Point(v)
+	// Start from the bounding box...
+	d.bufA = append(d.bufA[:0],
+		geom.Pt(d.lo, d.lo), geom.Pt(d.hi, d.lo), geom.Pt(d.hi, d.hi), geom.Pt(d.lo, d.hi))
+	poly := d.bufA
+	out := d.bufB[:0]
+	// ...and clip with the bisector halfplane of every Voronoi neighbour.
+	d.nbuf = d.tr.Neighbors(v, d.nbuf)
+	for _, u := range d.nbuf {
+		q := d.tr.Point(u)
+		// Halfplane closer to o than to u: n·x <= c with n = q-o,
+		// c = n·midpoint.
+		n := q.Sub(o)
+		m := o.Add(q).Scale(0.5)
+		c := n.Dot(m)
+		out = clipHalfplane(poly, n, c, out)
+		poly, out = out, poly[:0]
+		if len(poly) == 0 {
+			break
+		}
+	}
+	d.bufA, d.bufB = poly, out
+	return poly
+}
+
+// clipHalfplane clips convex ccw polygon poly against {x : n·x <= c},
+// appending the result to dst (Sutherland–Hodgman).
+func clipHalfplane(poly []geom.Point, n geom.Point, c float64, dst []geom.Point) []geom.Point {
+	k := len(poly)
+	for i := 0; i < k; i++ {
+		cur := poly[i]
+		nxt := poly[(i+1)%k]
+		curIn := n.Dot(cur) <= c
+		nxtIn := n.Dot(nxt) <= c
+		if curIn {
+			dst = append(dst, cur)
+		}
+		if curIn != nxtIn {
+			// Intersection of segment with the line n·x = c.
+			den := n.Dot(nxt.Sub(cur))
+			if den != 0 {
+				t := (c - n.Dot(cur)) / den
+				dst = append(dst, cur.Add(nxt.Sub(cur).Scale(t)))
+			}
+		}
+	}
+	return dst
+}
+
+// Contains reports whether p lies in the (closed) Voronoi region of v,
+// i.e. whether v is a nearest site to p. The test is local: v is nearest
+// iff it is at least as close to p as every one of its Voronoi neighbours.
+func (d *Diagram) Contains(v delaunay.VertexID, p geom.Point) bool {
+	o := d.tr.Point(v)
+	dv := geom.Dist2(p, o)
+	d.nbuf = d.tr.Neighbors(v, d.nbuf)
+	for _, u := range d.nbuf {
+		if geom.Dist2(p, d.tr.Point(u)) < dv {
+			return false
+		}
+	}
+	return true
+}
+
+// DistanceToRegion returns the point of R(v) closest to p and its distance.
+// This is the paper's DistanceToRegion primitive executed at object v for a
+// routing target p: if p lies in R(v) the result is p itself with distance
+// zero, otherwise the nearest boundary point of the cell.
+func (d *Diagram) DistanceToRegion(v delaunay.VertexID, p geom.Point) (geom.Point, float64) {
+	if d.Contains(v, p) {
+		return p, 0
+	}
+	poly := d.Cell(v)
+	if len(poly) == 0 {
+		// Numerically impossible for a live site (its cell contains it);
+		// fall back to the site position.
+		o := d.tr.Point(v)
+		return o, geom.Dist(p, o)
+	}
+	best := poly[0]
+	bestD := math.Inf(1)
+	for i := range poly {
+		a := poly[i]
+		b := poly[(i+1)%len(poly)]
+		q := geom.ClosestPointOnSegment(p, a, b)
+		if dd := geom.Dist2(p, q); dd < bestD {
+			best, bestD = q, dd
+		}
+	}
+	return best, math.Sqrt(bestD)
+}
+
+// CellArea returns the area of the (clipped) Voronoi region of v.
+func (d *Diagram) CellArea(v delaunay.VertexID) float64 {
+	poly := d.Cell(v)
+	return polygonArea(poly)
+}
+
+// CellAreaIn returns the area of R(v) intersected with the axis-aligned
+// box [lo.X, hi.X] × [lo.Y, hi.Y]. Over the unit square these areas sum to
+// exactly 1, which makes 1/CellAreaIn an unbiased decentralized estimator
+// of the overlay size (used by the dynamic-NMax extension).
+func (d *Diagram) CellAreaIn(v delaunay.VertexID, lo, hi geom.Point) float64 {
+	poly := append([]geom.Point(nil), d.Cell(v)...)
+	var out []geom.Point
+	clips := []struct {
+		n geom.Point
+		c float64
+	}{
+		{geom.Pt(-1, 0), -lo.X},
+		{geom.Pt(1, 0), hi.X},
+		{geom.Pt(0, -1), -lo.Y},
+		{geom.Pt(0, 1), hi.Y},
+	}
+	for _, cl := range clips {
+		out = clipHalfplane(poly, cl.n, cl.c, out[:0])
+		poly, out = out, poly
+		if len(poly) == 0 {
+			return 0
+		}
+	}
+	return polygonArea(poly)
+}
+
+func polygonArea(poly []geom.Point) float64 {
+	if len(poly) < 3 {
+		return 0
+	}
+	s := 0.0
+	for i := range poly {
+		a := poly[i]
+		b := poly[(i+1)%len(poly)]
+		s += a.Cross(b)
+	}
+	return s / 2
+}
+
+// LocalCell computes the Voronoi region of `self` against an explicit
+// neighbour list, clipped to a box of half-extent bound around (0.5, 0.5).
+// This is how a *distributed* VoroNet node reasons about its own region —
+// the region is fully determined by the node's view (its Voronoi
+// neighbours), no global structure needed. The result is a convex ccw
+// polygon.
+func LocalCell(self geom.Point, neighbors []geom.Point, bound float64) []geom.Point {
+	if bound <= 0 {
+		bound = DefaultBound
+	}
+	lo, hi := 0.5-bound, 0.5+bound
+	poly := []geom.Point{
+		geom.Pt(lo, lo), geom.Pt(hi, lo), geom.Pt(hi, hi), geom.Pt(lo, hi),
+	}
+	var out []geom.Point
+	for _, q := range neighbors {
+		n := q.Sub(self)
+		m := self.Add(q).Scale(0.5)
+		out = clipHalfplane(poly, n, n.Dot(m), out[:0])
+		poly, out = out, poly
+		if len(poly) == 0 {
+			break
+		}
+	}
+	return poly
+}
+
+// CellVertices returns the Voronoi vertices (circumcentres of the incident
+// Delaunay faces) of an interior site in counterclockwise order. For hull
+// sites the unbounded cell has no such finite representation; ok is false.
+// Cell (clipped) covers both cases.
+func (d *Diagram) CellVertices(v delaunay.VertexID, buf []geom.Point) (pts []geom.Point, ok bool) {
+	pts = buf[:0]
+	if d.tr.IsHullVertex(v) || d.tr.Dimension() < 2 {
+		return pts, false
+	}
+	ok = true
+	d.tr.FacesAround(v, func(a, b, c delaunay.VertexID) bool {
+		cc, fine := geom.Circumcenter(d.tr.Point(a), d.tr.Point(b), d.tr.Point(c))
+		if !fine {
+			ok = false
+			return false
+		}
+		pts = append(pts, cc)
+		return true
+	})
+	return pts, ok
+}

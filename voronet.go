@@ -1,0 +1,100 @@
+// Package voronet is a Go implementation of VoroNet, the object-to-object
+// peer-to-peer overlay network of Beaumont, Kermarrec, Marchal and Rivière
+// (IPDPS 2007; INRIA research report RR-5833).
+//
+// VoroNet links application objects — not hosts — in a 2-D attribute space:
+// each object is a point of the unit square, its identifier is its
+// attribute values, and the overlay graph is the Delaunay triangulation of
+// the objects (the dual of their Voronoi tessellation) augmented with
+// Kleinberg-style long-range links. Greedy routing over an object's view —
+// its Voronoi neighbours vn(o), its close neighbours cn(o) (objects within
+// distance dmin) and its long-range neighbours LRn(o) — reaches any point
+// of the attribute space in O(log² N) expected hops for any object
+// distribution, which is the paper's central theorem.
+//
+// # Quick start
+//
+//	ov := voronet.New(voronet.Config{NMax: 100000})
+//	a, _ := ov.Insert(voronet.Pt(0.25, 0.75))
+//	b, _ := ov.Insert(voronet.Pt(0.80, 0.10))
+//	hops, _ := ov.RouteToObject(a, b)
+//	owner, _ := ov.Owner(voronet.Pt(0.5, 0.5), a)
+//
+// The package re-exports the simulation engine (internal/core): one
+// process holds the tessellation the distributed protocol maintains
+// collectively, with per-object views and exact protocol cost accounting
+// per the paper's Algorithms 1–5. The genuinely distributed,
+// message-passing node (internal/node, internal/transport) realises the
+// same protocol over TCP or an in-memory bus; see examples/distributed and
+// cmd/voronet-node.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction of every figure of the paper's evaluation.
+package voronet
+
+import (
+	"io"
+
+	"voronet/internal/core"
+	"voronet/internal/geom"
+)
+
+// Point is a position in the 2-D attribute space (the unit square).
+type Point = geom.Point
+
+// Pt builds a Point.
+func Pt(x, y float64) Point { return geom.Pt(x, y) }
+
+// Dist returns the Euclidean distance between two points.
+func Dist(a, b Point) float64 { return geom.Dist(a, b) }
+
+// ObjectID identifies an overlay object. IDs are never reused.
+type ObjectID = core.ObjectID
+
+// NoObject is the invalid object ID.
+const NoObject = core.NoObject
+
+// Config parameterises an overlay; see the field docs in internal/core.
+type Config = core.Config
+
+// Object is an overlay object with its protocol state.
+type Object = core.Object
+
+// BackRef identifies one long link of one object (a BLRn entry).
+type BackRef = core.BackRef
+
+// Counters accounts protocol costs (Greedyneighbour calls, maintenance
+// messages, fictive insertions).
+type Counters = core.Counters
+
+// RouteResult reports a point routing outcome (Algorithm 5).
+type RouteResult = core.RouteResult
+
+// QueryStats accounts the cost of a range or radius query.
+type QueryStats = core.QueryStats
+
+// Overlay is a VoroNet overlay.
+type Overlay = core.Overlay
+
+// Errors returned by overlay operations.
+var (
+	ErrDuplicate = core.ErrDuplicate
+	ErrNotFound  = core.ErrNotFound
+	ErrEmpty     = core.ErrEmpty
+)
+
+// RoutePair is one sampled couple for Overlay.MeasureRoutes.
+type RoutePair = core.RoutePair
+
+// Router performs concurrent read-only greedy routing; see
+// Overlay.NewRouter and Overlay.MeasureRoutes.
+type Router = core.Router
+
+// New creates an empty overlay provisioned for cfg.NMax objects.
+func New(cfg Config) *Overlay { return core.New(cfg) }
+
+// Load reconstructs an overlay from an Overlay.Save snapshot.
+func Load(r io.Reader) (*Overlay, error) { return core.Load(r) }
+
+// DefaultDMin returns the paper's close-neighbour radius 1/√(π·NMax).
+func DefaultDMin(nmax int) float64 { return core.DefaultDMin(nmax) }

@@ -1,0 +1,163 @@
+package voronet_test
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"voronet"
+)
+
+// TestQuickstart exercises the public API exactly as the README shows it.
+func TestQuickstart(t *testing.T) {
+	ov := voronet.New(voronet.Config{NMax: 100000, Seed: 1})
+	a, err := ov.Insert(voronet.Pt(0.25, 0.75))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ov.Insert(voronet.Pt(0.80, 0.10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ov.Insert(voronet.Pt(0.25, 0.75)); !errors.Is(err, voronet.ErrDuplicate) {
+		t.Fatalf("duplicate: %v", err)
+	}
+	hops, err := ov.RouteToObject(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hops != 1 {
+		t.Fatalf("two objects are mutual neighbours: %d hops", hops)
+	}
+	owner, err := ov.Owner(voronet.Pt(0.3, 0.7), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if owner != a {
+		t.Fatalf("owner of a point near a: %d", owner)
+	}
+	if d := voronet.DefaultDMin(100000); d <= 0 || d >= 1 {
+		t.Fatalf("DefaultDMin: %g", d)
+	}
+	if voronet.Dist(voronet.Pt(0, 0), voronet.Pt(3, 4)) != 5 {
+		t.Fatal("Dist")
+	}
+}
+
+func TestPublicJoinLeaveQuery(t *testing.T) {
+	ov := voronet.New(voronet.Config{NMax: 5000, Seed: 2, LongLinks: 2})
+	rng := rand.New(rand.NewSource(3))
+	var ids []voronet.ObjectID
+	var last voronet.ObjectID = voronet.NoObject
+	for i := 0; i < 300; i++ {
+		id, err := ov.Join(voronet.Pt(rng.Float64(), rng.Float64()), last)
+		if err != nil {
+			if errors.Is(err, voronet.ErrDuplicate) {
+				continue
+			}
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		last = id
+	}
+	res, err := ov.HandleQuery(ids[0], voronet.Pt(0.5, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := ov.Owner(voronet.Pt(0.5, 0.5), voronet.NoObject)
+	if res.Owner != want {
+		t.Fatalf("query owner %d, want %d", res.Owner, want)
+	}
+	for i := 0; i < 100; i++ {
+		if err := ov.Remove(ids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ov.Len() != len(ids)-100 {
+		t.Fatalf("Len after removals: %d", ov.Len())
+	}
+	c := ov.Counters()
+	if c.Joins == 0 || c.Leaves != 100 || c.Queries != 1 {
+		t.Fatalf("counters: %+v", c)
+	}
+}
+
+func TestPublicSaveLoadAndParallelRoutes(t *testing.T) {
+	ov := voronet.New(voronet.Config{NMax: 2000, Seed: 6})
+	rng := rand.New(rand.NewSource(7))
+	var ids []voronet.ObjectID
+	for len(ids) < 300 {
+		if id, err := ov.Insert(voronet.Pt(rng.Float64(), rng.Float64())); err == nil {
+			ids = append(ids, id)
+		}
+	}
+	var buf bytes.Buffer
+	if err := ov.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ov2, err := voronet.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov2.Len() != ov.Len() {
+		t.Fatalf("loaded %d objects, want %d", ov2.Len(), ov.Len())
+	}
+
+	pairs := make([]voronet.RoutePair, 100)
+	for i := range pairs {
+		pairs[i] = voronet.RoutePair{From: ids[rng.Intn(len(ids))], To: ids[rng.Intn(len(ids))]}
+	}
+	h1, _, err := ov.MeasureRoutes(pairs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, _, err := ov2.MeasureRoutes(pairs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range h1 {
+		if h1[i] != h2[i] {
+			t.Fatalf("pair %d: %d vs %d hops after save/load", i, h1[i], h2[i])
+		}
+	}
+	// Cell and DistanceToRegion on the public surface.
+	cell := ov.Cell(ids[0])
+	if len(cell) < 3 {
+		t.Fatalf("cell has %d vertices", len(cell))
+	}
+	pos, _ := ov.Position(ids[0])
+	z, d, err := ov.DistanceToRegion(ids[0], pos)
+	if err != nil || d != 0 || z != pos {
+		t.Fatalf("DistanceToRegion at own site: %v %g %v", z, d, err)
+	}
+}
+
+func TestPublicRangeAndRadiusQueries(t *testing.T) {
+	ov := voronet.New(voronet.Config{NMax: 5000, Seed: 4})
+	rng := rand.New(rand.NewSource(5))
+	var first voronet.ObjectID = voronet.NoObject
+	for i := 0; i < 400; i++ {
+		id, err := ov.Insert(voronet.Pt(rng.Float64(), rng.Float64()))
+		if err == nil && first == voronet.NoObject {
+			first = id
+		}
+	}
+	seg, st, err := ov.RangeQuery(first, voronet.Pt(0.2, 0.5), voronet.Pt(0.8, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seg) == 0 || st.Visited == 0 {
+		t.Fatal("empty range query on a populated overlay")
+	}
+	disk, _, err := ov.RadiusQuery(first, voronet.Pt(0.5, 0.5), 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range disk {
+		pos, _ := ov.Position(id)
+		if voronet.Dist(pos, voronet.Pt(0.5, 0.5)) > 0.2 {
+			t.Fatal("radius query returned an object outside the disk")
+		}
+	}
+}
