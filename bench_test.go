@@ -233,6 +233,52 @@ func BenchmarkRouteToObject(b *testing.B) {
 	}
 }
 
+// BenchmarkStorePut measures an object-store PUT end to end on the
+// simulator mirror: Algorithm 4 routing to the key's region owner plus
+// storage and replication to the owner's neighbourhood.
+func BenchmarkStorePut(b *testing.B) {
+	ov := voronet.New(voronet.Config{NMax: benchN, Seed: 47})
+	rng := rand.New(rand.NewSource(47))
+	src := &workload.Uniform{Rand: rng}
+	for ov.Len() < benchN/2 {
+		ov.Insert(src.Next())
+	}
+	st := voronet.NewStore(ov, voronet.DefaultReplication)
+	from, _ := ov.RandomObject(rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := st.Put(from, src.Next(), []byte("benchmark-payload")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreGet measures an object-store GET end to end on a mirror
+// pre-loaded with keys.
+func BenchmarkStoreGet(b *testing.B) {
+	ov := voronet.New(voronet.Config{NMax: benchN, Seed: 53})
+	rng := rand.New(rand.NewSource(53))
+	src := &workload.Uniform{Rand: rng}
+	for ov.Len() < benchN/2 {
+		ov.Insert(src.Next())
+	}
+	st := voronet.NewStore(ov, voronet.DefaultReplication)
+	from, _ := ov.RandomObject(rng)
+	keys := make([]voronet.Point, 2000)
+	for i := range keys {
+		keys[i] = src.Next()
+		if _, _, err := st.Put(from, keys[i], []byte("benchmark-payload")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := st.Get(from, keys[i%len(keys)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkHandleQuery measures Algorithm 4 end to end (routing plus the
 // fictive insert/remove dance).
 func BenchmarkHandleQuery(b *testing.B) {

@@ -20,15 +20,20 @@
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"time"
 
+	"voronet"
 	"voronet/internal/kleinberg"
 	"voronet/internal/sim"
 	"voronet/internal/stats"
+	"voronet/internal/workload"
 )
 
 var (
@@ -41,12 +46,18 @@ var (
 	useCN      = flag.Bool("cn", false, "include close neighbours as routing shortcuts")
 	ablate     = flag.Bool("ablate", false, "run the ablation studies (A1-A4)")
 	maint      = flag.Bool("maintenance", false, "measure per-operation management costs across sizes")
+	storeBench = flag.Bool("store", false, "measure object-store Put/Get throughput, one JSON line on stdout")
+	storeOps   = flag.Int("store-ops", 20000, "operations per store phase (-store)")
+	storeRep   = flag.Int("store-rep", 0, "store replication factor R (-store; 0 = default)")
 )
 
 func main() {
 	flag.Parse()
 	start := time.Now()
 	switch {
+	case *storeBench:
+		runStoreBench()
+		return
 	case *ablate:
 		runAblations()
 	case *maint:
@@ -229,6 +240,76 @@ func runAblations() {
 	fmt.Printf("%-28s N=%-8d hops=%.2f\n", "A4 kleinberg grid s=2", g.Nodes(), m)
 	verdict("A4", m > 1, "the grid baseline VoroNet generalises routes in O(log^2 n)")
 }
+
+// runStoreBench measures object-store Put/Get throughput on the simulator
+// mirror and prints one JSON line, machine-readable so successive PRs can
+// track a BENCH_store.json trajectory:
+//
+//	voronet-bench -store -n 50000 -store-ops 20000 >> BENCH_store.json
+func runStoreBench() {
+	rng := rand.New(rand.NewSource(*seed))
+	src := workload.ByName("uniform", rng)
+	ov := voronet.New(voronet.Config{NMax: *n, Seed: *seed + 1})
+	buildStart := time.Now()
+	for ov.Len() < *n {
+		if _, err := ov.Insert(src.Next()); err != nil && !errors.Is(err, voronet.ErrDuplicate) {
+			fatal(err)
+		}
+	}
+	buildSecs := time.Since(buildStart).Seconds()
+
+	st := voronet.NewStore(ov, *storeRep)
+	from, err := ov.RandomObject(rng)
+	if err != nil {
+		fatal(err)
+	}
+	payload := []byte("voronet-store-benchmark-payload-0123456789")
+
+	keys := make([]voronet.Point, *storeOps)
+	putHops := 0
+	putStart := time.Now()
+	for i := range keys {
+		keys[i] = src.Next()
+		_, hops, err := st.Put(from, keys[i], payload)
+		if err != nil {
+			fatal(err)
+		}
+		putHops += hops
+	}
+	putSecs := time.Since(putStart).Seconds()
+
+	getHops := 0
+	getStart := time.Now()
+	for _, k := range keys {
+		_, hops, err := st.Get(from, k)
+		if err != nil {
+			fatal(err)
+		}
+		getHops += hops
+	}
+	getSecs := time.Since(getStart).Seconds()
+
+	line := map[string]any{
+		"bench":           "store",
+		"n":               ov.Len(),
+		"replication":     st.Replication(),
+		"ops":             *storeOps,
+		"value_bytes":     len(payload),
+		"seed":            *seed,
+		"build_secs":      round3(buildSecs),
+		"put_ops_per_sec": round3(float64(*storeOps) / putSecs),
+		"put_mean_hops":   round3(float64(putHops) / float64(*storeOps)),
+		"get_ops_per_sec": round3(float64(*storeOps) / getSecs),
+		"get_mean_hops":   round3(float64(getHops) / float64(*storeOps)),
+		"unix_millis":     time.Now().UnixMilli(),
+	}
+	enc := json.NewEncoder(os.Stdout)
+	if err := enc.Encode(line); err != nil {
+		fatal(err)
+	}
+}
+
+func round3(x float64) float64 { return math.Round(x*1000) / 1000 }
 
 func runMaintenance() {
 	fmt.Println("### Overlay management costs per operation (§4.2, §4.4)")

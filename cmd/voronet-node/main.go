@@ -12,15 +12,20 @@
 //
 // Commands on stdin:
 //
-//	query X Y    route a point query, print the owning object
-//	view         print vn / cn / long-link views
-//	leave        leave the overlay and exit
+//	query X Y       route a point query, print the owning object
+//	put X Y VALUE   store VALUE under attribute key (X, Y)
+//	get X Y         fetch the value stored under (X, Y)
+//	del X Y         delete the value stored under (X, Y)
+//	store           print the records this node holds
+//	view            print vn / cn / long-link views
+//	leave           leave the overlay and exit
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -115,6 +120,63 @@ func main() {
 			case <-time.After(5 * time.Second):
 				fmt.Println("query timed out")
 			}
+		case "put":
+			if len(fields) < 4 {
+				fmt.Println("usage: put X Y VALUE")
+				break
+			}
+			key, err := parseKey(fields[1], fields[2])
+			if err != nil {
+				fmt.Println("put:", err)
+				break
+			}
+			value := strings.Join(fields[3:], " ")
+			if err := nd.PutSync(key, []byte(value)); err != nil {
+				fmt.Println("put:", err)
+				break
+			}
+			fmt.Printf("stored %q at (%g, %g)\n", value, key.X, key.Y)
+		case "get":
+			if len(fields) != 3 {
+				fmt.Println("usage: get X Y")
+				break
+			}
+			key, err := parseKey(fields[1], fields[2])
+			if err != nil {
+				fmt.Println("get:", err)
+				break
+			}
+			v, err := nd.GetSync(key)
+			if err != nil {
+				fmt.Println("get:", err)
+				break
+			}
+			fmt.Printf("(%g, %g) = %q\n", key.X, key.Y, v)
+		case "del":
+			if len(fields) != 3 {
+				fmt.Println("usage: del X Y")
+				break
+			}
+			key, err := parseKey(fields[1], fields[2])
+			if err != nil {
+				fmt.Println("del:", err)
+				break
+			}
+			if err := nd.DeleteSync(key); err != nil {
+				fmt.Println("del:", err)
+				break
+			}
+			fmt.Printf("deleted (%g, %g)\n", key.X, key.Y)
+		case "store":
+			recs := nd.StoreSnapshot()
+			fmt.Printf("holding %d records (%d live):\n", len(recs), nd.StoreLen())
+			for _, rec := range recs {
+				if rec.Deleted {
+					fmt.Printf("  (%g, %g) v%d tombstone\n", rec.Key.X, rec.Key.Y, rec.Version)
+				} else {
+					fmt.Printf("  (%g, %g) v%d %q\n", rec.Key.X, rec.Key.Y, rec.Version, rec.Value)
+				}
+			}
 		case "view":
 			fmt.Printf("vn (%d):\n", len(nd.Neighbors()))
 			for _, v := range nd.Neighbors() {
@@ -137,7 +199,7 @@ func main() {
 			fmt.Println("left the overlay")
 			return
 		default:
-			fmt.Println("commands: query X Y | view | leave")
+			fmt.Println("commands: query X Y | put X Y VALUE | get X Y | del X Y | store | view | leave")
 		}
 		fmt.Print("> ")
 	}
@@ -145,6 +207,18 @@ func main() {
 	// overlay until killed.
 	fmt.Println("stdin closed; serving headless")
 	select {}
+}
+
+func parseKey(xs, ys string) (geom.Point, error) {
+	kx, err1 := strconv.ParseFloat(xs, 64)
+	ky, err2 := strconv.ParseFloat(ys, 64)
+	if err1 != nil || err2 != nil {
+		return geom.Point{}, fmt.Errorf("key coordinates must be numbers")
+	}
+	if math.IsNaN(kx) || math.IsNaN(ky) || math.IsInf(kx, 0) || math.IsInf(ky, 0) {
+		return geom.Point{}, fmt.Errorf("key coordinates must be finite")
+	}
+	return geom.Pt(kx, ky), nil
 }
 
 func fatal(err error) {

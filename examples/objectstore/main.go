@@ -1,0 +1,150 @@
+// Objectstore: the attribute-addressed store over a distributed overlay.
+// Forty-eight message-passing nodes assemble on the in-memory bus, then
+// records are PUT at attribute keys from random origins, read back from
+// other nodes, and survive a churn phase — joins and leaves with key
+// handoff — without losing a value.
+//
+//	go run ./examples/objectstore
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"voronet"
+	"voronet/internal/geom"
+	"voronet/internal/node"
+	"voronet/internal/store"
+	"voronet/internal/transport"
+)
+
+func main() {
+	const (
+		nNodes = 48
+		nKeys  = 200
+	)
+	dmin := voronet.DefaultDMin(nNodes * 4)
+	rng := rand.New(rand.NewSource(7))
+	bus := transport.NewBus()
+
+	// Assemble the overlay: bootstrap one node, join the rest through
+	// random sponsors.
+	var nodes []*node.Node
+	seq := 0
+	addNode := func(pos geom.Point) *node.Node {
+		ep, err := bus.Attach(fmt.Sprintf("peer%03d", seq))
+		if err != nil {
+			log.Fatal(err)
+		}
+		seq++
+		nd := node.New(ep, pos, node.Config{DMin: dmin, LongLinks: 1, Seed: int64(seq)})
+		if len(nodes) == 0 {
+			if err := nd.Bootstrap(); err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			if err := nd.Join(nodes[rng.Intn(len(nodes))].Info().Addr); err != nil {
+				log.Fatal(err)
+			}
+			bus.Drain()
+			if !nd.Joined() {
+				log.Fatalf("node %s failed to join", nd.Info().Addr)
+			}
+		}
+		nodes = append(nodes, nd)
+		return nd
+	}
+	for i := 0; i < nNodes; i++ {
+		addNode(geom.Pt(rng.Float64(), rng.Float64()))
+	}
+	fmt.Printf("overlay assembled: %d nodes on the in-memory bus\n", len(nodes))
+
+	// PUT: imagine a music catalogue indexed by (tempo, loudness); the
+	// value lives at the node owning that corner of the attribute space.
+	keys := make([]geom.Point, nKeys)
+	values := make([][]byte, nKeys)
+	for i := range keys {
+		keys[i] = geom.Pt(rng.Float64(), rng.Float64())
+		values[i] = []byte(fmt.Sprintf("track-%03d", i))
+		origin := nodes[rng.Intn(len(nodes))]
+		var ack *store.Reply
+		if err := origin.Put(keys[i], values[i], func(r store.Reply) { ack = &r }); err != nil {
+			log.Fatal(err)
+		}
+		bus.Drain()
+		if ack == nil || ack.Err != nil {
+			log.Fatalf("put %v: %+v", keys[i], ack)
+		}
+	}
+	fmt.Printf("put %d records from random origins\n", nKeys)
+
+	// GET from different origins; count hops and replica copies.
+	get := func(label string) {
+		hops, copies := 0, 0
+		for i, key := range keys {
+			origin := nodes[rng.Intn(len(nodes))]
+			var got *store.Reply
+			if err := origin.Get(key, func(r store.Reply) { got = &r }); err != nil {
+				log.Fatal(err)
+			}
+			bus.Drain()
+			if got == nil || got.Err != nil || !got.Found || !bytes.Equal(got.Value, values[i]) {
+				log.Fatalf("get %v: %+v", key, got)
+			}
+			hops += got.Hops
+			for _, nd := range nodes {
+				if !nd.Joined() {
+					continue
+				}
+				for _, rec := range nd.StoreSnapshot() {
+					if rec.Key == key && !rec.Deleted {
+						copies++
+					}
+				}
+			}
+		}
+		fmt.Printf("%s: all %d keys correct; %.1f hops and %.1f copies per key\n",
+			label, nKeys, float64(hops)/float64(nKeys), float64(copies)/float64(nKeys))
+	}
+	get("read back")
+
+	// Churn: ten nodes leave (handing their records off), ten join (taking
+	// over the records their new regions own).
+	for i := 0; i < 10; i++ {
+		idx := rng.Intn(len(nodes))
+		if err := nodes[idx].Leave(); err != nil {
+			log.Fatal(err)
+		}
+		bus.Drain()
+		nodes = append(nodes[:idx], nodes[idx+1:]...)
+		addNode(geom.Pt(rng.Float64(), rng.Float64()))
+	}
+	fmt.Printf("churn: 10 leaves and 10 joins, records handed off\n")
+	get("after churn")
+
+	// DELETE half the records; the tombstones replicate so no stale copy
+	// can resurrect them.
+	for i := 0; i < nKeys/2; i++ {
+		origin := nodes[rng.Intn(len(nodes))]
+		if err := origin.Delete(keys[i], nil); err != nil {
+			log.Fatal(err)
+		}
+		bus.Drain()
+	}
+	misses := 0
+	for i := 0; i < nKeys/2; i++ {
+		origin := nodes[rng.Intn(len(nodes))]
+		var got *store.Reply
+		if err := origin.Get(keys[i], func(r store.Reply) { got = &r }); err != nil {
+			log.Fatal(err)
+		}
+		bus.Drain()
+		if got != nil && !got.Found {
+			misses++
+		}
+	}
+	fmt.Printf("deleted %d records; %d of them now answer not-found\n", nKeys/2, misses)
+	fmt.Printf("bus delivered %d messages in total\n", bus.Delivered)
+}

@@ -1,0 +1,3 @@
+module voronet
+
+go 1.24

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"voronet/internal/geom"
+	"voronet/internal/proto"
+	"voronet/internal/store"
+)
+
+// Store is the simulator mirror of the distributed object store
+// (internal/node + internal/store): one process holds the per-object
+// record buckets the distributed protocol maintains collectively. The
+// placement rules are identical — a record lives at the owner of its key's
+// Voronoi region and on the owner's Replication Voronoi neighbours closest
+// to the key — so a workload driven through both implementations must
+// agree key for key (see internal/sim's equivalence test).
+//
+// Routing costs are accounted through HandleQuery (Algorithm 4), so store
+// workloads inherit the simulator's exact protocol cost model.
+type Store struct {
+	ov      *Overlay
+	rep     int
+	buckets map[ObjectID]*store.Local
+}
+
+// NewStore attaches an empty object store to ov. replication <= 0 selects
+// store.DefaultReplication.
+func NewStore(ov *Overlay, replication int) *Store {
+	if replication <= 0 {
+		replication = store.DefaultReplication
+	}
+	return &Store{ov: ov, rep: replication, buckets: make(map[ObjectID]*store.Local)}
+}
+
+// Replication returns the replication factor R.
+func (s *Store) Replication() int { return s.rep }
+
+func (s *Store) bucket(id ObjectID) *store.Local {
+	b := s.buckets[id]
+	if b == nil {
+		b = store.NewLocal()
+		s.buckets[id] = b
+	}
+	return b
+}
+
+// Put routes a PUT from object `from` to the owner of key, which stores
+// value and replicates it. It returns the owner and the route's hop count.
+func (s *Store) Put(from ObjectID, key geom.Point, value []byte) (ObjectID, int, error) {
+	res, err := s.ov.HandleQuery(from, key)
+	if err != nil {
+		return NoObject, 0, err
+	}
+	rec := s.bucket(res.Owner).Put(key, value)
+	s.replicate(res.Owner, NoObject, rec)
+	return res.Owner, res.Hops, nil
+}
+
+// Get routes a GET from object `from` and returns the owner's record
+// value, or store.ErrNotFound for a missing or deleted key.
+func (s *Store) Get(from ObjectID, key geom.Point) ([]byte, int, error) {
+	res, err := s.ov.HandleQuery(from, key)
+	if err != nil {
+		return nil, 0, err
+	}
+	rec, ok := s.bucket(res.Owner).Get(key)
+	if !ok {
+		return nil, res.Hops, store.ErrNotFound
+	}
+	return rec.Value, res.Hops, nil
+}
+
+// Delete routes a DELETE from object `from` to the owner of key, which
+// tombstones the record and replicates the tombstone. It returns
+// store.ErrNotFound when the owner had no live record.
+func (s *Store) Delete(from ObjectID, key geom.Point) (int, error) {
+	res, err := s.ov.HandleQuery(from, key)
+	if err != nil {
+		return 0, err
+	}
+	tomb, ok := s.bucket(res.Owner).Delete(key)
+	if !ok {
+		return res.Hops, store.ErrNotFound
+	}
+	s.replicate(res.Owner, NoObject, tomb)
+	return res.Hops, nil
+}
+
+// replicate pushes rec to the rep Voronoi neighbours of owner closest to
+// the record's key, skipping `exclude` (a departing object).
+func (s *Store) replicate(owner, exclude ObjectID, rec proto.StoreRecord) {
+	vns, err := s.ov.VoronoiNeighbors(owner, nil)
+	if err != nil {
+		return
+	}
+	for picked := 0; picked < s.rep && len(vns) > 0; picked++ {
+		best, bestAt := NoObject, -1
+		bestD := 0.0
+		for i, id := range vns {
+			if id == exclude {
+				continue
+			}
+			d := geom.Dist2(s.ov.objs[id].Pos, rec.Key)
+			if bestAt < 0 || d < bestD {
+				best, bestAt, bestD = id, i, d
+			}
+		}
+		if bestAt < 0 {
+			return
+		}
+		vns[bestAt] = vns[len(vns)-1]
+		vns = vns[:len(vns)-1]
+		s.bucket(best).Apply(rec)
+	}
+}
+
+// OnInsert performs the store side of AddVoronoiRegion for a freshly
+// inserted object: each new Voronoi neighbour hands over the records whose
+// key now falls in the newcomer's region (keeping its copy as a replica),
+// and the newcomer re-replicates them. Call it right after Overlay.Insert
+// or Overlay.Join.
+func (s *Store) OnInsert(id ObjectID) {
+	obj := s.ov.objs[id]
+	if obj == nil {
+		return
+	}
+	vns, err := s.ov.VoronoiNeighbors(id, nil)
+	if err != nil {
+		return
+	}
+	for _, nid := range vns {
+		b := s.buckets[nid]
+		if b == nil {
+			continue
+		}
+		npos := s.ov.objs[nid].Pos
+		moved := b.Collect(func(k geom.Point) bool {
+			return geom.Dist2(obj.Pos, k) < geom.Dist2(npos, k)
+		})
+		for _, rec := range moved {
+			if s.bucket(id).Apply(rec) {
+				s.replicate(id, NoObject, rec)
+			}
+		}
+	}
+}
+
+// OnRemove performs the store side of RemoveVoronoiRegion for a departing
+// object: every record in its bucket is handed to the Voronoi neighbour
+// closest to its key — the region's next owner — which re-replicates it.
+// Call it right before Overlay.Remove, while the tessellation still holds
+// the departing object.
+func (s *Store) OnRemove(id ObjectID) {
+	b := s.buckets[id]
+	delete(s.buckets, id)
+	obj := s.ov.objs[id]
+	if b == nil || obj == nil {
+		return
+	}
+	vns, err := s.ov.VoronoiNeighbors(id, nil)
+	if err != nil || len(vns) == 0 {
+		return
+	}
+	for _, rec := range b.Snapshot() {
+		best := NoObject
+		bestD := 0.0
+		for _, nid := range vns {
+			d := geom.Dist2(s.ov.objs[nid].Pos, rec.Key)
+			if best == NoObject || d < bestD {
+				best, bestD = nid, d
+			}
+		}
+		if s.bucket(best).Apply(rec) {
+			s.replicate(best, id, rec)
+		}
+	}
+}
+
+// Copies returns the number of objects holding a live record for key.
+func (s *Store) Copies(key geom.Point) int {
+	n := 0
+	for _, b := range s.buckets {
+		if _, ok := b.Get(key); ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Len returns the number of live records at the key's current owner,
+// summed over all owners — i.e. the number of distinct live keys as the
+// owners see them.
+func (s *Store) Len() int {
+	seen := make(map[geom.Point]bool)
+	for _, b := range s.buckets {
+		for _, rec := range b.Snapshot() {
+			if !seen[rec.Key] {
+				if _, err := s.StatusOf(rec.Key); err == nil {
+					seen[rec.Key] = true
+				}
+			}
+		}
+	}
+	return len(seen)
+}
+
+// StatusOf resolves key's current owner and reports whether it holds a
+// live record (store.ErrNotFound otherwise).
+func (s *Store) StatusOf(key geom.Point) (ObjectID, error) {
+	owner, err := s.ov.Owner(key, NoObject)
+	if err != nil {
+		return NoObject, err
+	}
+	if _, ok := s.bucket(owner).Get(key); !ok {
+		return owner, store.ErrNotFound
+	}
+	return owner, nil
+}

@@ -5,6 +5,7 @@ import (
 
 	"voronet/internal/geom"
 	"voronet/internal/proto"
+	"voronet/internal/store"
 )
 
 // handle dispatches one inbound protocol message. The transports guarantee
@@ -95,6 +96,13 @@ func (n *Node) handle(from string, payload []byte) {
 		if cb != nil {
 			cb(env.From, env.Hops)
 		}
+	case proto.KindStoreReply:
+		n.inflight.Resolve(env.QueryID, store.Reply{
+			Found: env.Found, Value: env.Value, Version: env.Version,
+			Owner: env.From, Hops: env.Hops,
+		})
+	case proto.KindReplicaSync:
+		n.handleReplicaSync(env)
 	}
 }
 
@@ -104,6 +112,24 @@ func (n *Node) handle(from string, payload []byte) {
 func (n *Node) handleRoute(env *proto.Envelope) {
 	n.mu.Lock()
 	if !n.joined {
+		n.mu.Unlock()
+		return
+	}
+	n.mu.Unlock()
+	// A GET is answered by the first node on the greedy path holding the
+	// key — owner or replica; a tombstone answers "deleted" with equal
+	// authority. The rank check keeps nodes that dropped out of the key's
+	// replica set under churn from serving stale versions.
+	if env.Purpose == proto.PurposeStoreGet {
+		if rec, ok := n.kv.Lookup(env.Target); ok && n.inReplicaSet(env.Target) {
+			n.replyStoreHit(env, rec)
+			return
+		}
+	}
+	n.mu.Lock()
+	if !n.joined {
+		// A concurrent Leave may have completed while the lock was
+		// released for the replica probe.
 		n.mu.Unlock()
 		return
 	}
@@ -153,6 +179,8 @@ func (n *Node) handleRoute(env *proto.Envelope) {
 		})
 	case proto.PurposeRange:
 		n.startRangeFlood(env)
+	case proto.PurposeStorePut, proto.PurposeStoreGet, proto.PurposeStoreDelete:
+		n.handleStoreOwned(env)
 	}
 }
 
@@ -307,6 +335,14 @@ func (n *Node) integrateNewcomer(j proto.NodeInfo) {
 			})
 		}
 	}
+	// Store handoff: the records whose key now lies in the newcomer's
+	// region migrate to it (the storage face of AddVoronoiRegion). We keep
+	// our copy as a replica; the newcomer re-replicates.
+	if moved := n.storeHandoffToNewcomer(j); len(moved) > 0 {
+		n.send(j.Addr, &proto.Envelope{
+			Type: proto.KindReplicaSync, From: n.self, Records: moved, Handoff: true,
+		})
+	}
 }
 
 // handleNeighborList refreshes the sender's entry in the two-hop table and
@@ -415,6 +451,13 @@ func (n *Node) handleLeave(env *proto.Envelope) {
 		n.send(v.Addr, &proto.Envelope{
 			Type: proto.KindNeighborList, From: n.self, Neighbors: vns, Departed: dep,
 		})
+	}
+	// Store reclaim: records the departed node owned and we now own (no
+	// surviving neighbour is closer) lost their owner-side replicas, so we
+	// restore the replication factor (the storage face of
+	// RemoveVoronoiRegion).
+	if recs := storeReclaimAfterLeave(n.kv, n.self, env.From, vns); len(recs) > 0 {
+		n.replicateRecords(recs, false, gone)
 	}
 }
 

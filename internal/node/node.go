@@ -31,10 +31,12 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"time"
 
 	"voronet/internal/delaunay"
 	"voronet/internal/geom"
 	"voronet/internal/proto"
+	"voronet/internal/store"
 	"voronet/internal/transport"
 )
 
@@ -47,6 +49,13 @@ type Config struct {
 	LongLinks int
 	// Seed seeds the node's private RNG (long-link targets).
 	Seed int64
+	// Replication is the object-store replication factor R: a stored
+	// record is pushed to the R Voronoi neighbours of the owner closest
+	// to the key (default store.DefaultReplication).
+	Replication int
+	// StoreTimeout bounds each routed store operation; the callback fires
+	// with store.ErrTimeout when it passes (default 5s).
+	StoreTimeout time.Duration
 }
 
 // Errors returned by node operations.
@@ -86,6 +95,11 @@ type Node struct {
 	rangeSeen  map[rangeKey]bool
 	rangeOrder []rangeKey
 
+	// Object store: the records this node holds (as owner or replica) and
+	// the correlation table for its own routed PUT/GET/DELETE requests.
+	kv       *store.Local
+	inflight *store.Inflight
+
 	// Sent counts outbound protocol messages (cost accounting).
 	Sent uint64
 }
@@ -99,6 +113,12 @@ func New(ep transport.Endpoint, pos geom.Point, cfg Config) *Node {
 	if cfg.DMin <= 0 {
 		cfg.DMin = 1e-3
 	}
+	if cfg.Replication <= 0 {
+		cfg.Replication = store.DefaultReplication
+	}
+	if cfg.StoreTimeout <= 0 {
+		cfg.StoreTimeout = 5 * time.Second
+	}
 	n := &Node{
 		ep:        ep,
 		self:      proto.NodeInfo{Addr: ep.Addr(), Pos: pos},
@@ -111,6 +131,8 @@ func New(ep transport.Endpoint, pos geom.Point, cfg Config) *Node {
 		queries:   make(map[uint64]func(proto.NodeInfo, int)),
 		rangeHits: make(map[uint64]func(proto.NodeInfo)),
 		rangeSeen: make(map[rangeKey]bool),
+		kv:        store.NewLocal(),
+		inflight:  store.NewInflight(),
 	}
 	ep.SetHandler(n.handle)
 	return n
@@ -280,6 +302,32 @@ func (n *Node) Leave() error {
 		}
 		out = append(out, outMsg{h.Addr, &proto.Envelope{Type: proto.KindBackWithdraw, From: n.self, Link: j}})
 	}
+
+	// Store handoff: delegate every record (tombstones included) to the
+	// Voronoi neighbour closest to its key — after our region disappears
+	// that neighbour owns the key — marked Handoff so the recipient
+	// restores the replication factor.
+	if recs := n.kv.Snapshot(); len(recs) > 0 && len(n.vn) > 0 {
+		batches := make(map[string][]proto.StoreRecord)
+		for _, rec := range recs {
+			best := ""
+			bestD := math.Inf(1)
+			for _, v := range n.vn {
+				if d := geom.Dist2(v.Pos, rec.Key); d < bestD {
+					best, bestD = v.Addr, d
+				}
+			}
+			batches[best] = append(batches[best], rec)
+		}
+		for addr, recs := range batches {
+			out = append(out, outMsg{addr, &proto.Envelope{
+				Type: proto.KindReplicaSync, From: n.self, Records: recs, Handoff: true,
+			}})
+		}
+	}
+	// Clear in place: handlers read n.kv without n.mu, so the pointer
+	// itself must never change.
+	n.kv.Clear()
 
 	// Tell the neighbourhood to close the hole and close neighbours to
 	// forget us.

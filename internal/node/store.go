@@ -1,0 +1,295 @@
+package node
+
+import (
+	"sort"
+
+	"voronet/internal/geom"
+	"voronet/internal/proto"
+	"voronet/internal/store"
+)
+
+// The node face of the attribute-addressed object store (internal/store):
+// Put / Get / Delete greedy-route the operation to the owner of the key's
+// Voronoi region, which applies it to its local keyed store and replicates
+// to the Voronoi neighbours closest to the key. Churn handoff rides on the
+// same events that maintain the tessellation: integrateNewcomer hands the
+// newcomer the records its region took over, Leave delegates every record
+// to the neighbour closest to its key, and handleLeave re-replicates the
+// records the survivor now owns.
+
+// Put routes a PUT for key to its region owner and invokes cb (may be nil)
+// with the acknowledgement or a timeout.
+func (n *Node) Put(key geom.Point, value []byte, cb func(store.Reply)) error {
+	return n.storeOp(proto.PurposeStorePut, key, value, cb)
+}
+
+// Get routes a GET for key and invokes cb with the value held by the first
+// replica on the greedy path, or the owner's authoritative answer.
+func (n *Node) Get(key geom.Point, cb func(store.Reply)) error {
+	return n.storeOp(proto.PurposeStoreGet, key, nil, cb)
+}
+
+// Delete routes a DELETE for key to its region owner, which tombstones the
+// record and replicates the tombstone.
+func (n *Node) Delete(key geom.Point, cb func(store.Reply)) error {
+	return n.storeOp(proto.PurposeStoreDelete, key, nil, cb)
+}
+
+func (n *Node) storeOp(purpose proto.RoutedPurpose, key geom.Point, value []byte, cb func(store.Reply)) error {
+	n.mu.Lock()
+	if !n.joined {
+		n.mu.Unlock()
+		return ErrNotJoined
+	}
+	timeout := n.cfg.StoreTimeout
+	n.mu.Unlock()
+	if cb == nil {
+		cb = func(store.Reply) {}
+	}
+	id := n.inflight.Add(cb, timeout)
+	env := &proto.Envelope{
+		Type:    proto.KindRoute,
+		Purpose: purpose,
+		Target:  key,
+		Value:   value,
+		Origin:  n.self,
+		QueryID: id,
+	}
+	// Start routing at ourselves (we may already own the key's region).
+	n.handle(n.self.Addr, mustEncode(env))
+	return nil
+}
+
+// PutSync is Put blocking until the acknowledgement (or timeout). Safe over
+// the TCP transport; over the in-memory bus it must be called from a
+// goroutine other than the one draining.
+func (n *Node) PutSync(key geom.Point, value []byte) error {
+	r, err := n.waitOp(func(cb func(store.Reply)) error { return n.Put(key, value, cb) })
+	if err != nil {
+		return err
+	}
+	return r.Err
+}
+
+// GetSync is Get blocking until the answer; it returns store.ErrNotFound
+// for a missing or deleted key.
+func (n *Node) GetSync(key geom.Point) ([]byte, error) {
+	r, err := n.waitOp(func(cb func(store.Reply)) error { return n.Get(key, cb) })
+	if err != nil {
+		return nil, err
+	}
+	if r.Err != nil {
+		return nil, r.Err
+	}
+	if !r.Found {
+		return nil, store.ErrNotFound
+	}
+	return r.Value, nil
+}
+
+// DeleteSync is Delete blocking until the acknowledgement; it returns
+// store.ErrNotFound when the owner had no live record.
+func (n *Node) DeleteSync(key geom.Point) error {
+	r, err := n.waitOp(func(cb func(store.Reply)) error { return n.Delete(key, cb) })
+	if err != nil {
+		return err
+	}
+	if r.Err != nil {
+		return r.Err
+	}
+	if !r.Found {
+		return store.ErrNotFound
+	}
+	return nil
+}
+
+func (n *Node) waitOp(op func(cb func(store.Reply)) error) (store.Reply, error) {
+	ch := make(chan store.Reply, 1)
+	if err := op(func(r store.Reply) { ch <- r }); err != nil {
+		return store.Reply{}, err
+	}
+	// The inflight timeout guarantees the callback fires.
+	return <-ch, nil
+}
+
+// StoreLen returns the number of live records this node holds (as owner or
+// replica).
+func (n *Node) StoreLen() int { return n.kv.Len() }
+
+// StoreSnapshot returns every record this node holds, tombstones included.
+func (n *Node) StoreSnapshot() []proto.StoreRecord { return n.kv.Snapshot() }
+
+// handleStoreOwned executes a routed store operation at the owner of the
+// key's region (no neighbour is closer to the key).
+func (n *Node) handleStoreOwned(env *proto.Envelope) {
+	reply := &proto.Envelope{Type: proto.KindStoreReply, From: n.self, QueryID: env.QueryID, Hops: env.Hops}
+	switch env.Purpose {
+	case proto.PurposeStorePut:
+		rec := n.kv.Put(env.Target, env.Value)
+		n.replicateRecords([]proto.StoreRecord{rec}, false, "")
+		reply.Found = true
+		reply.Version = rec.Version
+	case proto.PurposeStoreGet:
+		// The on-path replica check in handleRoute answered if we held the
+		// key; reaching here as owner means an authoritative miss.
+		if rec, ok := n.kv.Get(env.Target); ok {
+			reply.Found = true
+			reply.Value = rec.Value
+			reply.Version = rec.Version
+		}
+	case proto.PurposeStoreDelete:
+		if tomb, ok := n.kv.Delete(env.Target); ok {
+			n.replicateRecords([]proto.StoreRecord{tomb}, false, "")
+			reply.Found = true
+			reply.Version = tomb.Version
+		}
+	}
+	n.send(env.Origin.Addr, reply)
+}
+
+// replyStoreHit answers a GET from this node's local record (owner or
+// replica on the greedy path). A tombstone is an authoritative miss.
+func (n *Node) replyStoreHit(env *proto.Envelope, rec proto.StoreRecord) {
+	reply := &proto.Envelope{Type: proto.KindStoreReply, From: n.self, QueryID: env.QueryID, Hops: env.Hops}
+	if !rec.Deleted {
+		reply.Found = true
+		reply.Value = rec.Value
+		reply.Version = rec.Version
+	}
+	n.send(env.Origin.Addr, reply)
+}
+
+// handleReplicaSync merges pushed records; a handoff makes this node the
+// new owner of the carried keys, so it restores the replication factor by
+// pushing them to its own neighbourhood.
+func (n *Node) handleReplicaSync(env *proto.Envelope) {
+	// Only records that actually changed local state are re-replicated:
+	// overlapping handoff batches from several affected neighbours would
+	// otherwise each trigger a redundant replication round.
+	var changed []proto.StoreRecord
+	for _, rec := range env.Records {
+		if n.kv.Apply(rec) {
+			changed = append(changed, rec)
+		}
+	}
+	if env.Handoff && len(changed) > 0 {
+		// Exclude the sender: a leaving node hands off and must not be
+		// re-replicated to.
+		n.replicateRecords(changed, false, env.From.Addr)
+	}
+}
+
+// replicateRecords pushes records to their replica set: for each record,
+// the cfg.Replication Voronoi neighbours closest to its key. Batches one
+// message per distinct target. exclude (may be empty) names a peer to skip.
+func (n *Node) replicateRecords(recs []proto.StoreRecord, handoff bool, exclude string) {
+	n.mu.Lock()
+	vns := n.vnList()
+	r := n.cfg.Replication
+	n.mu.Unlock()
+	if len(vns) == 0 || len(recs) == 0 {
+		return
+	}
+	batches := make(map[string][]proto.StoreRecord)
+	order := make([]string, 0, len(vns))
+	for _, rec := range recs {
+		sort.Slice(vns, func(i, j int) bool {
+			return geom.Dist2(vns[i].Pos, rec.Key) < geom.Dist2(vns[j].Pos, rec.Key)
+		})
+		picked := 0
+		for _, v := range vns {
+			if picked == r {
+				break
+			}
+			if v.Addr == exclude {
+				continue
+			}
+			if _, seen := batches[v.Addr]; !seen {
+				order = append(order, v.Addr)
+			}
+			batches[v.Addr] = append(batches[v.Addr], rec)
+			picked++
+		}
+	}
+	for _, addr := range order {
+		n.send(addr, &proto.Envelope{
+			Type: proto.KindReplicaSync, From: n.self, Records: batches[addr], Handoff: handoff,
+		})
+	}
+}
+
+// inReplicaSet reports whether this node is in the key's current replica
+// set — it is the owner, or one of the R nodes the owner replicates to
+// (the R members of the owner's Voronoi neighbour list closest to the
+// key). The owner's list is read from the two-hop table, so the test is
+// exact once views are converged. Nodes outside the set may hold copies
+// that churn has made stale; they forward GETs to the owner instead of
+// answering.
+func (n *Node) inReplicaSet(key geom.Point) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	// The owner candidate by our view: nearest to the key among us and
+	// our neighbours.
+	ownerAddr := n.self.Addr
+	ownerD := geom.Dist2(n.self.Pos, key)
+	for _, v := range n.vn {
+		if dv := geom.Dist2(v.Pos, key); dv < ownerD {
+			ownerD, ownerAddr = dv, v.Addr
+		}
+	}
+	if ownerAddr == n.self.Addr {
+		return true
+	}
+	lst, ok := n.twoHop[ownerAddr]
+	if !ok {
+		return false
+	}
+	selfD := geom.Dist2(n.self.Pos, key)
+	inList := false
+	closer := 0
+	for _, v := range lst {
+		if v.Addr == n.self.Addr {
+			inList = true
+			continue
+		}
+		dv := geom.Dist2(v.Pos, key)
+		if dv < ownerD {
+			// The candidate has a neighbour closer to the key, so it is
+			// not the owner (greedy property): we are too far from the key
+			// to know the true replica set.
+			return false
+		}
+		if dv < selfD {
+			closer++
+		}
+	}
+	return inList && closer < n.cfg.Replication
+}
+
+// storeHandoffToNewcomer collects the records whose key now falls in the
+// newcomer's region (strictly closer to it than to us) for a handoff push.
+// We keep our copy: the shrunken cell's node remains a natural replica.
+func (n *Node) storeHandoffToNewcomer(j proto.NodeInfo) []proto.StoreRecord {
+	return n.kv.Collect(func(k geom.Point) bool {
+		return geom.Dist2(j.Pos, k) < geom.Dist2(n.self.Pos, k)
+	})
+}
+
+// storeReclaimAfterLeave collects the records this node owns now that
+// `gone` departed: the departed node was closer to the key than we are,
+// and no current neighbour beats us. Those records lost their owner, so
+// the new owner re-replicates them.
+func storeReclaimAfterLeave(kv *store.Local, self proto.NodeInfo, gone proto.NodeInfo, vns []proto.NodeInfo) []proto.StoreRecord {
+	return kv.Collect(func(k geom.Point) bool {
+		d := geom.Dist2(self.Pos, k)
+		if geom.Dist2(gone.Pos, k) >= d {
+			return false // we already owned (or tied on) this key
+		}
+		for _, v := range vns {
+			if geom.Dist2(v.Pos, k) < d {
+				return false // a surviving neighbour owns it
+			}
+		}
+		return true
+	})
+}

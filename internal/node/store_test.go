@@ -1,0 +1,250 @@
+package node
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"voronet/internal/geom"
+	"voronet/internal/store"
+)
+
+// putKey issues a Put from nd and drains the bus, failing the test unless
+// the acknowledgement arrives.
+func (c *cluster) putKey(t *testing.T, nd *Node, key geom.Point, value []byte) {
+	t.Helper()
+	var got *store.Reply
+	if err := nd.Put(key, value, func(r store.Reply) { got = &r }); err != nil {
+		t.Fatal(err)
+	}
+	c.bus.Drain()
+	if got == nil {
+		t.Fatalf("put %v: no reply", key)
+	}
+	if got.Err != nil || !got.Found {
+		t.Fatalf("put %v: %+v", key, got)
+	}
+}
+
+// getKey issues a Get from nd and drains the bus, returning the reply.
+func (c *cluster) getKey(t *testing.T, nd *Node, key geom.Point) store.Reply {
+	t.Helper()
+	var got *store.Reply
+	if err := nd.Get(key, func(r store.Reply) { got = &r }); err != nil {
+		t.Fatal(err)
+	}
+	c.bus.Drain()
+	if got == nil {
+		t.Fatalf("get %v: no reply", key)
+	}
+	if got.Err != nil {
+		t.Fatalf("get %v: %v", key, got.Err)
+	}
+	return *got
+}
+
+func TestStorePutGetDeleteSmall(t *testing.T) {
+	c := newCluster(t, 20, 0.02, 101)
+	key := geom.Pt(0.37, 0.62)
+
+	// Missing key: authoritative miss.
+	if r := c.getKey(t, c.nodes[3], key); r.Found {
+		t.Fatalf("missing key found: %+v", r)
+	}
+
+	c.putKey(t, c.nodes[5], key, []byte("hello"))
+	r := c.getKey(t, c.nodes[11], key)
+	if !r.Found || !bytes.Equal(r.Value, []byte("hello")) || r.Version != 1 {
+		t.Fatalf("get after put: %+v", r)
+	}
+
+	// Overwrite bumps the version.
+	c.putKey(t, c.nodes[7], key, []byte("world"))
+	r = c.getKey(t, c.nodes[2], key)
+	if !r.Found || !bytes.Equal(r.Value, []byte("world")) || r.Version != 2 {
+		t.Fatalf("get after overwrite: %+v", r)
+	}
+
+	// Delete tombstones everywhere a replica could answer.
+	var del *store.Reply
+	if err := c.nodes[9].Delete(key, func(r store.Reply) { del = &r }); err != nil {
+		t.Fatal(err)
+	}
+	c.bus.Drain()
+	if del == nil || del.Err != nil || !del.Found {
+		t.Fatalf("delete: %+v", del)
+	}
+	for _, nd := range c.nodes {
+		if r := c.getKey(t, nd, key); r.Found {
+			t.Fatalf("deleted key served to %s: %+v", nd.Info().Addr, r)
+		}
+	}
+
+	// Deleting again reports not found.
+	del = nil
+	if err := c.nodes[4].Delete(key, func(r store.Reply) { del = &r }); err != nil {
+		t.Fatal(err)
+	}
+	c.bus.Drain()
+	if del == nil || del.Found {
+		t.Fatalf("double delete: %+v", del)
+	}
+
+	// A put over the tombstone resurrects the key.
+	c.putKey(t, c.nodes[1], key, []byte("again"))
+	r = c.getKey(t, c.nodes[14], key)
+	if !r.Found || !bytes.Equal(r.Value, []byte("again")) {
+		t.Fatalf("resurrect: %+v", r)
+	}
+}
+
+func TestStoreUnjoinedErrors(t *testing.T) {
+	c := newCluster(t, 1, 0.05, 102)
+	solo := c.nodes[0]
+	// The bootstrap node owns everything; its own ops resolve locally.
+	c.putKey(t, solo, geom.Pt(0.5, 0.5), []byte("v"))
+	if r := c.getKey(t, solo, geom.Pt(0.5, 0.5)); !r.Found {
+		t.Fatalf("solo get: %+v", r)
+	}
+
+	ep, err := c.bus.Attach("outsider")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := New(ep, geom.Pt(0.1, 0.1), Config{DMin: 0.05})
+	if err := out.Put(geom.Pt(0.2, 0.2), []byte("x"), nil); err != ErrNotJoined {
+		t.Fatalf("put before join: %v", err)
+	}
+	if err := out.Get(geom.Pt(0.2, 0.2), nil); err != ErrNotJoined {
+		t.Fatalf("get before join: %v", err)
+	}
+	if err := out.Delete(geom.Pt(0.2, 0.2), nil); err != ErrNotJoined {
+		t.Fatalf("delete before join: %v", err)
+	}
+}
+
+// TestStoreReplicationFactor checks that a put lands on the owner plus the
+// R Voronoi neighbours of the owner closest to the key.
+func TestStoreReplicationFactor(t *testing.T) {
+	c := newCluster(t, 40, 0.02, 103)
+	for i := 0; i < 20; i++ {
+		key := geom.Pt(c.rng.Float64(), c.rng.Float64())
+		c.putKey(t, c.nodes[c.rng.Intn(len(c.nodes))], key, []byte{byte(i)})
+
+		// Ground-truth owner: nearest node to the key.
+		owner := c.nodes[0]
+		for _, nd := range c.nodes {
+			if geom.Dist2(nd.Info().Pos, key) < geom.Dist2(owner.Info().Pos, key) {
+				owner = nd
+			}
+		}
+		copies := 0
+		for _, nd := range c.nodes {
+			if _, ok := nd.kv.Lookup(key); ok {
+				copies++
+			}
+		}
+		want := 1 + min(owner.cfg.Replication, len(owner.Neighbors()))
+		if copies < want {
+			t.Fatalf("key %v: %d copies, want >= %d", key, copies, want)
+		}
+		if _, ok := owner.kv.Get(key); !ok {
+			t.Fatalf("key %v: owner %s holds no copy", key, owner.Info().Addr)
+		}
+	}
+}
+
+// TestStoreEndToEndChurn is the acceptance scenario: 64 nodes, 500 keys
+// put from random origins and read back from different origins, then a
+// churn phase (12 joins + 12 leaves) after which every key is still
+// retrievable with its correct value.
+func TestStoreEndToEndChurn(t *testing.T) {
+	const (
+		nNodes = 64
+		nKeys  = 500
+		dmin   = 0.02
+	)
+	c := newCluster(t, nNodes, dmin, 104)
+
+	type kv struct {
+		key    geom.Point
+		value  []byte
+		origin string
+	}
+	keys := make([]kv, 0, nKeys)
+	for i := 0; i < nKeys; i++ {
+		e := kv{
+			key:   geom.Pt(c.rng.Float64(), c.rng.Float64()),
+			value: []byte(fmt.Sprintf("value-%04d", i)),
+		}
+		nd := c.nodes[c.rng.Intn(len(c.nodes))]
+		e.origin = nd.Info().Addr
+		c.putKey(t, nd, e.key, e.value)
+		keys = append(keys, e)
+	}
+
+	verify := func(phase string) {
+		for i, e := range keys {
+			// Read from an origin different from the one that wrote.
+			var reader *Node
+			for {
+				reader = c.nodes[c.rng.Intn(len(c.nodes))]
+				if reader.Info().Addr != e.origin {
+					break
+				}
+			}
+			r := c.getKey(t, reader, e.key)
+			if !r.Found {
+				t.Fatalf("%s: key %d %v lost", phase, i, e.key)
+			}
+			if !bytes.Equal(r.Value, e.value) {
+				t.Fatalf("%s: key %d %v: got %q want %q", phase, i, e.key, r.Value, e.value)
+			}
+		}
+	}
+	verify("pre-churn")
+
+	// Churn: 12 joins and 12 leaves interleaved.
+	joins, leaves := 0, 0
+	for joins < 12 || leaves < 12 {
+		if joins < 12 && (leaves >= 12 || c.rng.Float64() < 0.5) {
+			c.addNode(t, geom.Pt(c.rng.Float64(), c.rng.Float64()), dmin)
+			joins++
+		} else {
+			idx := c.rng.Intn(len(c.nodes))
+			nd := c.nodes[idx]
+			if err := nd.Leave(); err != nil {
+				t.Fatal(err)
+			}
+			c.bus.Drain()
+			nd.ep.Close()
+			c.nodes = append(c.nodes[:idx], c.nodes[idx+1:]...)
+			leaves++
+		}
+	}
+	c.checkViewsAgainstReference(t)
+	verify("post-churn")
+
+	// Writes against the churned overlay must be consistent too: stale
+	// copies left behind by handoff may never answer for overwritten or
+	// deleted keys.
+	for i := 0; i < 50; i++ {
+		keys[i].value = []byte(fmt.Sprintf("value-%04d-v2", i))
+		nd := c.nodes[c.rng.Intn(len(c.nodes))]
+		keys[i].origin = nd.Info().Addr
+		c.putKey(t, nd, keys[i].key, keys[i].value)
+	}
+	for i := 50; i < 100; i++ {
+		if err := c.nodes[c.rng.Intn(len(c.nodes))].Delete(keys[i].key, nil); err != nil {
+			t.Fatal(err)
+		}
+		c.bus.Drain()
+	}
+	for i := 50; i < 100; i++ {
+		if r := c.getKey(t, c.nodes[c.rng.Intn(len(c.nodes))], keys[i].key); r.Found {
+			t.Fatalf("post-churn delete: key %d still served: %+v", i, r)
+		}
+	}
+	keys = append(keys[:50], keys[100:]...)
+	verify("post-churn-writes")
+}

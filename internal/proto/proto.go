@@ -1,8 +1,9 @@
 // Package proto defines the wire messages of the distributed VoroNet node
 // (internal/node): greedy-routed envelopes for joins, long-link
-// establishment and queries, plus the neighbourhood-maintenance messages of
-// §4.2 (AddVoronoiRegion / RemoveVoronoiRegion). Messages are encoded with
-// encoding/gob.
+// establishment, queries and object-store operations, plus the
+// neighbourhood-maintenance messages of §4.2 (AddVoronoiRegion /
+// RemoveVoronoiRegion) and the store replication/handoff messages of
+// internal/store. Messages are encoded with encoding/gob.
 //
 // The vocabulary follows the paper: a node's entry for another object
 // carries its address and its coordinates in the unit square (§3, "each
@@ -71,6 +72,15 @@ const (
 	KindRangeForward
 	// KindRangeHit reports one in-range object to the query origin.
 	KindRangeHit
+	// KindStoreReply answers a routed store operation (PurposeStorePut /
+	// PurposeStoreGet / PurposeStoreDelete) back at the request origin,
+	// correlated by QueryID.
+	KindStoreReply
+	// KindReplicaSync pushes store records to a peer: replication after a
+	// put or delete at the owner, re-replication after churn, and — with
+	// Handoff set — a primary-ownership transfer that obliges the
+	// recipient to re-replicate in turn.
+	KindReplicaSync
 )
 
 // RoutedPurpose says why a KindRoute message is travelling.
@@ -88,6 +98,17 @@ const (
 	// along the objects whose regions intersect the segment (§7,
 	// perspective 1). Target is the segment start, TargetB its end.
 	PurposeRange
+	// PurposeStorePut locates the owner of a key's region, which stores
+	// the carried value and replicates it (Target is the key, Value the
+	// payload).
+	PurposeStorePut
+	// PurposeStoreGet locates a copy of a key's record: any node on the
+	// greedy path holding the key answers, the owner answers
+	// authoritatively.
+	PurposeStoreGet
+	// PurposeStoreDelete locates the owner of a key's region, which
+	// tombstones the record and replicates the tombstone.
+	PurposeStoreDelete
 )
 
 // BackEntry is one BLRn element on the wire: the origin object, which of
@@ -96,6 +117,19 @@ type BackEntry struct {
 	Origin NodeInfo
 	Link   int
 	Target geom.Point
+}
+
+// StoreRecord is one stored object payload on the wire and in the local
+// keyed stores: the key is a point of the attribute space (the object's
+// attribute coordinates), the version is a per-key monotonic counter
+// assigned by the key's successive region owners, and Deleted marks a
+// tombstone (the record of a deletion, kept so that replicas cannot
+// resurrect the value). Higher version wins on merge.
+type StoreRecord struct {
+	Key     geom.Point
+	Value   []byte
+	Version uint64
+	Deleted bool
 }
 
 // NeighborRecord pairs a node with its own Voronoi neighbour list — the
@@ -133,6 +167,13 @@ type Envelope struct {
 	// merge them into their tombstone sets so that stale two-hop gossip
 	// cannot resurrect a dead neighbour.
 	Departed []string
+
+	// Object store (PurposeStore*, KindStoreReply, KindReplicaSync).
+	Value   []byte        // payload of a PurposeStorePut / found KindStoreReply
+	Found   bool          // KindStoreReply: the key had a live record
+	Version uint64        // version of the record acted upon
+	Records []StoreRecord // KindReplicaSync: replicated / handed-off records
+	Handoff bool          // KindReplicaSync: recipient becomes the owner
 }
 
 // Encode serialises an envelope with gob.

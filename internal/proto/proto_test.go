@@ -30,6 +30,14 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		},
 		Granter:  NodeInfo{Addr: "g:7"},
 		Departed: []string{"x:1", "y:2"},
+		Value:    []byte("payload"),
+		Found:    true,
+		Version:  12,
+		Records: []StoreRecord{
+			{Key: geom.Pt(0.4, 0.6), Value: []byte("v1"), Version: 2},
+			{Key: geom.Pt(0.9, 0.1), Version: 5, Deleted: true},
+		},
+		Handoff: true,
 	}
 	b, err := Encode(in)
 	if err != nil {

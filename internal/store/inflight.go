@@ -1,0 +1,88 @@
+package store
+
+import (
+	"sync"
+	"time"
+
+	"voronet/internal/proto"
+)
+
+// Reply is the outcome of one routed store operation, delivered to the
+// callback registered with Inflight.Add.
+type Reply struct {
+	// Found reports whether the key had a live record (GET) or the
+	// operation was applied (PUT / DELETE ack).
+	Found bool
+	// Value is the record payload (GET only).
+	Value []byte
+	// Version is the version acted upon.
+	Version uint64
+	// Owner is the node that answered.
+	Owner proto.NodeInfo
+	// Hops is the greedy route length the request travelled.
+	Hops int
+	// Err is ErrTimeout when the reply deadline passed, nil otherwise.
+	Err error
+}
+
+// Inflight correlates routed store requests with their replies: each
+// request gets a fresh ID carried in the envelope's QueryID field, and the
+// reply (or a timeout) resolves it exactly once.
+type Inflight struct {
+	mu      sync.Mutex
+	seq     uint64
+	pending map[uint64]*pendingReq
+}
+
+type pendingReq struct {
+	cb    func(Reply)
+	timer *time.Timer
+}
+
+// NewInflight returns an empty correlation table.
+func NewInflight() *Inflight {
+	return &Inflight{pending: make(map[uint64]*pendingReq)}
+}
+
+// Add registers cb and returns the request ID to route with. If timeout is
+// positive and no reply resolves the ID in time, cb fires with
+// Reply{Err: ErrTimeout}.
+func (f *Inflight) Add(cb func(Reply), timeout time.Duration) uint64 {
+	f.mu.Lock()
+	f.seq++
+	id := f.seq
+	req := &pendingReq{cb: cb}
+	f.pending[id] = req
+	if timeout > 0 {
+		req.timer = time.AfterFunc(timeout, func() {
+			f.Resolve(id, Reply{Err: ErrTimeout})
+		})
+	}
+	f.mu.Unlock()
+	return id
+}
+
+// Resolve fires the callback registered under id with r and forgets the
+// request. It reports whether id was pending (late or duplicate replies
+// return false and are dropped).
+func (f *Inflight) Resolve(id uint64, r Reply) bool {
+	f.mu.Lock()
+	req, ok := f.pending[id]
+	delete(f.pending, id)
+	f.mu.Unlock()
+	if !ok {
+		return false
+	}
+	if req.timer != nil {
+		req.timer.Stop()
+	}
+	req.cb(r)
+	return true
+}
+
+// Pending returns the number of unresolved requests.
+func (f *Inflight) Pending() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.pending)
+}

@@ -1,0 +1,165 @@
+// Package store implements the attribute-addressed object store that rides
+// on the VoroNet overlay: values are keyed by points of the 2-D attribute
+// space and live at the node whose Voronoi region contains the key, with
+// replicas on the owner's Voronoi neighbours.
+//
+// The package holds the machinery shared by the distributed node
+// (internal/node) and the simulator mirror (internal/core): Local, a
+// versioned keyed store with tombstones and newer-wins merge, and Inflight,
+// the request/response correlation table with per-request timeouts used by
+// the routed PUT/GET/DELETE operations.
+//
+// Placement follows the paper's object model: a key is an attribute vector,
+// so the object responsible for it is Obj(key) — the owner of the Voronoi
+// region containing the key — and churn handoff is the storage face of
+// AddVoronoiRegion / RemoveVoronoiRegion (§4.2): when the tessellation
+// changes, records migrate so the invariant "Obj(key) holds key" is
+// restored, exactly as BLRn entries migrate with their targets.
+package store
+
+import (
+	"errors"
+	"sync"
+
+	"voronet/internal/geom"
+	"voronet/internal/proto"
+)
+
+// DefaultReplication is the default replication factor R: besides the
+// owner, a record is pushed to the R Voronoi neighbours of the owner
+// closest to the key.
+const DefaultReplication = 3
+
+// Errors returned by store operations.
+var (
+	// ErrNotFound reports a GET or DELETE for a key with no live record.
+	ErrNotFound = errors.New("store: key not found")
+	// ErrTimeout reports a routed operation whose reply did not arrive
+	// within the request timeout.
+	ErrTimeout = errors.New("store: request timed out")
+)
+
+// Local is a thread-safe keyed store holding the records (live and
+// tombstoned) a single node is responsible for, as owner or replica. It
+// does not distinguish the two roles: responsibility is derived from the
+// tessellation at message-handling time, never cached.
+type Local struct {
+	mu   sync.Mutex
+	recs map[geom.Point]proto.StoreRecord
+}
+
+// NewLocal returns an empty local store.
+func NewLocal() *Local {
+	return &Local{recs: make(map[geom.Point]proto.StoreRecord)}
+}
+
+// Get returns the live record for key. ok is false when the key is absent
+// or tombstoned.
+func (l *Local) Get(key geom.Point) (proto.StoreRecord, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rec, ok := l.recs[key]
+	if !ok || rec.Deleted {
+		return proto.StoreRecord{}, false
+	}
+	return rec, true
+}
+
+// Lookup returns the record for key even if tombstoned (a tombstone is an
+// authoritative "deleted" answer, distinct from "never seen").
+func (l *Local) Lookup(key geom.Point) (proto.StoreRecord, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rec, ok := l.recs[key]
+	return rec, ok
+}
+
+// Put writes value under key with the next version and returns the stored
+// record. Called by the key's region owner.
+func (l *Local) Put(key geom.Point, value []byte) proto.StoreRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rec := proto.StoreRecord{
+		Key:     key,
+		Value:   append([]byte(nil), value...),
+		Version: l.recs[key].Version + 1,
+	}
+	l.recs[key] = rec
+	return rec
+}
+
+// Delete tombstones key with the next version and returns the tombstone.
+// ok is false (and no tombstone is written) when the key has no live
+// record.
+func (l *Local) Delete(key geom.Point) (proto.StoreRecord, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	old, ok := l.recs[key]
+	if !ok || old.Deleted {
+		return proto.StoreRecord{}, false
+	}
+	rec := proto.StoreRecord{Key: key, Version: old.Version + 1, Deleted: true}
+	l.recs[key] = rec
+	return rec, true
+}
+
+// Apply merges a replicated or handed-off record, newer version wins.
+// Equal versions keep the resident record (owner writes are the only
+// version sources, so equal versions carry equal content). It reports
+// whether the local state changed.
+func (l *Local) Apply(rec proto.StoreRecord) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if old, ok := l.recs[rec.Key]; ok && old.Version >= rec.Version {
+		return false
+	}
+	l.recs[rec.Key] = rec
+	return true
+}
+
+// Clear discards every record (a node that left the overlay hands its
+// records off first and must not retain state a later rejoin could leak).
+func (l *Local) Clear() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.recs = make(map[geom.Point]proto.StoreRecord)
+}
+
+// Len returns the number of live (non-tombstoned) records.
+func (l *Local) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, rec := range l.recs {
+		if !rec.Deleted {
+			n++
+		}
+	}
+	return n
+}
+
+// Snapshot returns every record, tombstones included.
+func (l *Local) Snapshot() []proto.StoreRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]proto.StoreRecord, 0, len(l.recs))
+	for _, rec := range l.recs {
+		out = append(out, rec)
+	}
+	return out
+}
+
+// Collect returns the records whose key satisfies pred, tombstones
+// included (a tombstone must migrate like a value, or a stale replica
+// could resurrect the deleted key at the new owner).
+func (l *Local) Collect(pred func(key geom.Point) bool) []proto.StoreRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []proto.StoreRecord
+	for k, rec := range l.recs {
+		if pred(k) {
+			out = append(out, rec)
+		}
+	}
+	return out
+}

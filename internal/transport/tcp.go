@@ -18,12 +18,20 @@ import (
 type TCPEndpoint struct {
 	ln       net.Listener
 	mu       sync.Mutex // guards conns/inbound + handler installation
-	conns    map[string]net.Conn
+	conns    map[string]*tcpConn
 	inbound  map[net.Conn]struct{}
 	handler  Handler
 	dispatch sync.Mutex // serialises handler invocations
 	closed   bool
 	wg       sync.WaitGroup
+}
+
+// tcpConn is one cached outbound connection. wmu serialises frame writes:
+// concurrent Sends to the same peer must not interleave their frame bytes
+// on the stream.
+type tcpConn struct {
+	c   net.Conn
+	wmu sync.Mutex
 }
 
 // MaxFrame is the largest accepted message frame (1 MiB); VoroNet views
@@ -39,7 +47,7 @@ func ListenTCP(addr string) (*TCPEndpoint, error) {
 	}
 	ep := &TCPEndpoint{
 		ln:      ln,
-		conns:   make(map[string]net.Conn),
+		conns:   make(map[string]*tcpConn),
 		inbound: make(map[net.Conn]struct{}),
 	}
 	ep.wg.Add(1)
@@ -103,6 +111,8 @@ func (e *TCPEndpoint) readLoop(c net.Conn) {
 }
 
 // Send dials (or reuses) a connection to the peer and writes one frame.
+// Concurrent Sends are safe: frames to the same peer are serialised by a
+// per-connection lock and written with a single Write call.
 func (e *TCPEndpoint) Send(to string, payload []byte) error {
 	e.mu.Lock()
 	if e.closed {
@@ -117,20 +127,31 @@ func (e *TCPEndpoint) Send(to string, payload []byte) error {
 			return fmt.Errorf("transport: dial %s: %w", to, err)
 		}
 		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			nc.Close()
+			return errors.New("transport: endpoint closed")
+		}
 		if existing, dup := e.conns[to]; dup {
 			nc.Close()
 			c = existing
 		} else {
-			e.conns[to] = nc
-			c = nc
+			c = &tcpConn{c: nc}
+			e.conns[to] = c
 		}
 		e.mu.Unlock()
 	}
-	if err := writeFrame(c, e.Addr(), payload); err != nil {
+	frame := appendFrame(nil, e.Addr(), payload)
+	c.wmu.Lock()
+	_, err := c.c.Write(frame)
+	c.wmu.Unlock()
+	if err != nil {
 		e.mu.Lock()
-		delete(e.conns, to)
+		if e.conns[to] == c {
+			delete(e.conns, to)
+		}
 		e.mu.Unlock()
-		c.Close()
+		c.c.Close()
 		return err
 	}
 	return nil
@@ -142,9 +163,9 @@ func (e *TCPEndpoint) Close() error {
 	e.mu.Lock()
 	e.closed = true
 	for _, c := range e.conns {
-		c.Close()
+		c.c.Close()
 	}
-	e.conns = map[string]net.Conn{}
+	e.conns = map[string]*tcpConn{}
 	for c := range e.inbound {
 		c.Close()
 	}
@@ -156,21 +177,13 @@ func (e *TCPEndpoint) Close() error {
 
 // Frame format: u32 fromLen | from | u32 payloadLen | payload.
 
-func writeFrame(w io.Writer, from string, payload []byte) error {
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(from)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	if _, err := io.WriteString(w, from); err != nil {
-		return err
-	}
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(payload)
-	return err
+// appendFrame appends one whole frame to buf so it can be written with a
+// single Write call.
+func appendFrame(buf []byte, from string, payload []byte) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(from)))
+	buf = append(buf, from...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+	return append(buf, payload...)
 }
 
 func readFrame(r io.Reader) (from string, payload []byte, err error) {

@@ -1,0 +1,147 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestTCPSendAfterCloseWithCachedConn: a closed endpoint must refuse to
+// send even over a connection it had already dialled and cached, and must
+// keep refusing (no panic, no resurrection).
+func TestTCPSendAfterCloseWithCachedConn(t *testing.T) {
+	a, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	b.SetHandler(func(string, []byte) {})
+
+	if err := a.Send(b.Addr(), []byte("before close")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := a.Send(b.Addr(), []byte("after close")); err == nil {
+			t.Fatal("send after close must fail")
+		} else if !strings.Contains(err.Error(), "closed") {
+			t.Fatalf("send after close: %v", err)
+		}
+	}
+}
+
+// TestTCPSendUnknownPeer: sending to an address nothing listens on fails
+// with a dial error instead of blocking or panicking.
+func TestTCPSendUnknownPeer(t *testing.T) {
+	a, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	// Reserve a port, then free it so the dial is refused.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := ln.Addr().String()
+	ln.Close()
+
+	if err := a.Send(dead, []byte("hello?")); err == nil {
+		t.Fatal("send to unknown peer must fail")
+	}
+	// The endpoint stays usable after the failure.
+	b, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	got := make(chan struct{}, 1)
+	b.SetHandler(func(string, []byte) { got <- struct{}{} })
+	if err := a.Send(b.Addr(), []byte("still alive")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-got:
+	case <-time.After(5 * time.Second):
+		t.Fatal("delivery after failed send timed out")
+	}
+}
+
+// TestTCPConcurrentSends hammers one receiver from many goroutines over
+// two sender endpoints. Every frame must arrive intact: frame writes to a
+// shared connection must not interleave.
+func TestTCPConcurrentSends(t *testing.T) {
+	recv, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+
+	const (
+		senders   = 2
+		workers   = 8
+		perWorker = 50
+	)
+	total := senders * workers * perWorker
+	var delivered atomic.Int64
+	seen := make(map[string]bool, total)
+	var seenMu sync.Mutex
+	recv.SetHandler(func(from string, payload []byte) {
+		seenMu.Lock()
+		seen[string(payload)] = true
+		seenMu.Unlock()
+		delivered.Add(1)
+	})
+
+	var eps []*TCPEndpoint
+	for i := 0; i < senders; i++ {
+		ep, err := ListenTCP("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ep.Close()
+		eps = append(eps, ep)
+	}
+
+	var wg sync.WaitGroup
+	for s, ep := range eps {
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(ep *TCPEndpoint, s, w int) {
+				defer wg.Done()
+				for i := 0; i < perWorker; i++ {
+					msg := fmt.Sprintf("s%d-w%d-i%03d|%s", s, w, i, strings.Repeat("x", 100+i))
+					if err := ep.Send(recv.Addr(), []byte(msg)); err != nil {
+						t.Errorf("send %s: %v", msg, err)
+						return
+					}
+				}
+			}(ep, s, w)
+		}
+	}
+	wg.Wait()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for delivered.Load() < int64(total) && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := delivered.Load(); got != int64(total) {
+		t.Fatalf("delivered %d of %d frames", got, total)
+	}
+	seenMu.Lock()
+	defer seenMu.Unlock()
+	if len(seen) != total {
+		t.Fatalf("distinct payloads %d of %d (frames corrupted or duplicated)", len(seen), total)
+	}
+}

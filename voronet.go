@@ -20,6 +20,10 @@
 //	hops, _ := ov.RouteToObject(a, b)
 //	owner, _ := ov.Owner(voronet.Pt(0.5, 0.5), a)
 //
+//	st := voronet.NewStore(ov, voronet.DefaultReplication)
+//	st.Put(a, voronet.Pt(0.5, 0.5), []byte("payload"))
+//	val, hops, _ := st.Get(b, voronet.Pt(0.5, 0.5))
+//
 // The package re-exports the simulation engine (internal/core): one
 // process holds the tessellation the distributed protocol maintains
 // collectively, with per-object views and exact protocol cost accounting
@@ -37,6 +41,8 @@ import (
 
 	"voronet/internal/core"
 	"voronet/internal/geom"
+	"voronet/internal/proto"
+	"voronet/internal/store"
 )
 
 // Point is a position in the 2-D attribute space (the unit square).
@@ -89,6 +95,33 @@ type RoutePair = core.RoutePair
 // Router performs concurrent read-only greedy routing; see
 // Overlay.NewRouter and Overlay.MeasureRoutes.
 type Router = core.Router
+
+// Store is the attribute-addressed object store riding on an overlay:
+// values are keyed by points of the attribute space, live at the owner of
+// the key's Voronoi region, and are replicated to the owner's Voronoi
+// neighbours. The distributed realisation (internal/node) speaks the same
+// protocol over the wire; this simulator mirror runs identical workloads
+// in one process (see DESIGN.md §store).
+type Store = core.Store
+
+// StoreRecord is one stored payload with its version and tombstone flag.
+type StoreRecord = proto.StoreRecord
+
+// DefaultReplication is the default store replication factor R.
+const DefaultReplication = store.DefaultReplication
+
+// Store errors.
+var (
+	// ErrKeyNotFound reports a Get or Delete for a missing or deleted key.
+	ErrKeyNotFound = store.ErrNotFound
+	// ErrStoreTimeout reports a routed store operation whose reply did not
+	// arrive in time (distributed node only).
+	ErrStoreTimeout = store.ErrTimeout
+)
+
+// NewStore attaches an empty object store to ov; replication <= 0 selects
+// DefaultReplication.
+func NewStore(ov *Overlay, replication int) *Store { return core.NewStore(ov, replication) }
 
 // New creates an empty overlay provisioned for cfg.NMax objects.
 func New(cfg Config) *Overlay { return core.New(cfg) }

@@ -161,3 +161,52 @@ func TestPublicRangeAndRadiusQueries(t *testing.T) {
 		}
 	}
 }
+
+// TestStorePublicAPI exercises the object store exactly as the README
+// shows it: put, get from another origin, delete, and churn handoff.
+func TestStorePublicAPI(t *testing.T) {
+	ov := voronet.New(voronet.Config{NMax: 1000, Seed: 9})
+	rng := rand.New(rand.NewSource(9))
+	var ids []voronet.ObjectID
+	for len(ids) < 200 {
+		id, err := ov.Insert(voronet.Pt(rng.Float64(), rng.Float64()))
+		if err != nil {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	st := voronet.NewStore(ov, voronet.DefaultReplication)
+
+	key := voronet.Pt(0.42, 0.13)
+	if _, _, err := st.Get(ids[0], key); !errors.Is(err, voronet.ErrKeyNotFound) {
+		t.Fatalf("missing key: %v", err)
+	}
+	owner, hops, err := st.Put(ids[1], key, []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trueOwner, _ := ov.Owner(key, voronet.NoObject); owner != trueOwner {
+		t.Fatalf("stored at %d, owner is %d (route took %d hops)", owner, trueOwner, hops)
+	}
+	val, _, err := st.Get(ids[2], key)
+	if err != nil || !bytes.Equal(val, []byte("payload")) {
+		t.Fatalf("get: %q, %v", val, err)
+	}
+
+	// The owner leaves; the record must be handed to the next owner.
+	st.OnRemove(owner)
+	if err := ov.Remove(owner); err != nil {
+		t.Fatal(err)
+	}
+	val, _, err = st.Get(ids[3], key)
+	if err != nil || !bytes.Equal(val, []byte("payload")) {
+		t.Fatalf("get after owner left: %q, %v", val, err)
+	}
+
+	if _, err := st.Delete(ids[4], key); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Get(ids[5], key); !errors.Is(err, voronet.ErrKeyNotFound) {
+		t.Fatalf("get after delete: %v", err)
+	}
+}
