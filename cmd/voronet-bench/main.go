@@ -10,6 +10,7 @@
 //	voronet-bench -fig 8 [-kmax 10] ...
 //	voronet-bench -fig all              (everything, paper-scale defaults)
 //	voronet-bench -ablate               (A1-A4 ablation studies)
+//	voronet-bench -chaos                (chaos scenario battery, JSON lines)
 //
 // The paper's runs use 300 000 objects and 100 000 route samples per
 // checkpoint; means converge far earlier, so -samples defaults to 2000.
@@ -30,6 +31,7 @@ import (
 	"time"
 
 	"voronet"
+	"voronet/internal/harness"
 	"voronet/internal/kleinberg"
 	"voronet/internal/sim"
 	"voronet/internal/stats"
@@ -49,12 +51,18 @@ var (
 	storeBench = flag.Bool("store", false, "measure object-store Put/Get throughput, one JSON line on stdout")
 	storeOps   = flag.Int("store-ops", 20000, "operations per store phase (-store)")
 	storeRep   = flag.Int("store-rep", 0, "store replication factor R (-store; 0 = default)")
+	chaosMode  = flag.Bool("chaos", false, "run the chaos scenario battery, one JSON line per scenario on stdout")
+	chaosName  = flag.String("scenario", "", "run only the named chaos scenario (-chaos)")
+	chaosSeed  = flag.Int64("chaos-seed", 0, "offset added to every scenario seed (-chaos)")
 )
 
 func main() {
 	flag.Parse()
 	start := time.Now()
 	switch {
+	case *chaosMode:
+		runChaos()
+		return
 	case *storeBench:
 		runStoreBench()
 		return
@@ -306,6 +314,71 @@ func runStoreBench() {
 	enc := json.NewEncoder(os.Stdout)
 	if err := enc.Encode(line); err != nil {
 		fatal(err)
+	}
+}
+
+// runChaos drives the chaos scenario battery (internal/harness) and
+// prints one machine-readable JSON line per scenario so successive PRs
+// can track a BENCH_chaos.json trajectory:
+//
+//	voronet-bench -chaos > BENCH_chaos.json
+//	voronet-bench -chaos -scenario partition-heal -chaos-seed 7
+//
+// The process exits non-zero if any scenario fails an invariant.
+func runChaos() {
+	scenarios := harness.Scenarios()
+	if *chaosName != "" {
+		s := harness.ByName(*chaosName)
+		if s == nil {
+			fmt.Fprintf(os.Stderr, "voronet-bench: unknown scenario %q\n", *chaosName)
+			os.Exit(2)
+		}
+		scenarios = []harness.Scenario{*s}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	failed := 0
+	for _, s := range scenarios {
+		s.Seed += *chaosSeed
+		start := time.Now()
+		res, err := s.Run()
+		if err != nil {
+			fatal(err)
+		}
+		wall := time.Since(start)
+		line := map[string]any{
+			"bench":      "chaos",
+			"scenario":   s.Name,
+			"seed":       s.Seed,
+			"passed":     res.Passed,
+			"ops":        res.Ops,
+			"ops_lost":   res.OpsLost,
+			"delivered":  res.Delivered,
+			"dropped":    res.Dropped,
+			"virtual_t":  res.VirtualTime,
+			"checks":     len(res.Checks),
+			"wall_ms":    wall.Milliseconds(),
+			"transcript": len(res.Transcript),
+		}
+		if n := len(res.Checks); n > 0 {
+			final := res.Checks[n-1]
+			line["nodes"] = final.Nodes
+			line["route_ok"] = final.RouteOK
+			line["route_tried"] = final.RouteTried
+			line["mean_route_hops"] = round3(final.MeanHops)
+			line["store_keys"] = final.StoreKeys
+			line["store_errors"] = final.StoreErrors
+		}
+		if !res.Passed {
+			failed++
+			line["failures"] = res.Failures
+		}
+		if err := enc.Encode(line); err != nil {
+			fatal(err)
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "voronet-bench: %d chaos scenario(s) failed\n", failed)
+		os.Exit(1)
 	}
 }
 

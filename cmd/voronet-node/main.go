@@ -46,6 +46,7 @@ var (
 	join      = flag.String("join", "", "address of an overlay member to join through")
 	nmax      = flag.Int("nmax", 100000, "provisioned overlay size (fixes dmin)")
 	links     = flag.Int("k", 1, "long-range links")
+	syncEvery = flag.Duration("sync-interval", 30*time.Second, "anti-entropy replica sweep period (0 disables)")
 )
 
 func main() {
@@ -83,6 +84,17 @@ func main() {
 		fmt.Printf("joined via %s; %d Voronoi neighbours\n", *join, len(nd.Neighbors()))
 	default:
 		fatal(fmt.Errorf("need -bootstrap or -join"))
+	}
+
+	// Anti-entropy: periodically push every held record toward its owner
+	// and replica set, repairing placement damaged by crashes or network
+	// faults (the sweep the chaos harness drives explicitly via Settle).
+	if *syncEvery > 0 {
+		go func() {
+			for range time.Tick(*syncEvery) {
+				nd.SyncReplicas()
+			}
+		}()
 	}
 
 	sc := bufio.NewScanner(os.Stdin)

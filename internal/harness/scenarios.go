@@ -1,0 +1,173 @@
+package harness
+
+// Scenarios returns the standard chaos battery. Every scenario is
+// registered both as a go test case (TestScenarios) and behind
+// `voronet-bench -chaos`; seeds are fixed so BENCH_chaos.json baselines
+// and CI transcripts are reproducible, and CI additionally shifts the
+// seeds (CHAOS_SEED) to keep the invariants honest across randomness.
+//
+// EXPERIMENTS.md tabulates the battery with expected outcomes.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{
+			// Sustained interleaved joins, graceful leaves and crashes
+			// with workload throughout: the tessellation, link mesh and
+			// replica placement must track every population change.
+			Name: "churn-storm", Seed: 101,
+			Steps: []Step{
+				Join{N: 30},
+				Workload{Ops: 60},
+				Settle{},
+				Check{},
+				Leave{Count: 5},
+				Crash{Count: 3},
+				Join{N: 10},
+				Settle{},
+				Workload{Ops: 60, GetFrac: 0.4},
+				Settle{},
+				Check{},
+				Leave{Count: 4},
+				Crash{Count: 2},
+				Join{N: 6},
+				Settle{},
+				Check{},
+			},
+		},
+		{
+			// Fifty nodes join within one network round against a 5-node
+			// seed overlay: admission under heavy concurrent tessellation
+			// surgery.
+			Name: "flash-crowd", Seed: 102,
+			Steps: []Step{
+				Join{N: 5},
+				Settle{},
+				Check{},
+				Join{N: 50, Batch: true},
+				Settle{},
+				Check{},
+				Workload{Ops: 50, GetFrac: 0.3},
+				Settle{},
+				Check{},
+			},
+		},
+		{
+			// The acceptance scenario: a named east/west partition stands
+			// while the workload keeps writing, then heals. The final
+			// check demands 100% greedy-routing success and full
+			// replica-set coverage for every surviving key.
+			Name: "partition-heal", Seed: 103,
+			Steps: []Step{
+				Join{N: 30},
+				Workload{Ops: 60},
+				Settle{},
+				Check{},
+				Partition{Name: "east-west", At: 0.5},
+				Workload{Ops: 80, GetFrac: 0.3},
+				Check{SkipStore: true}, // views are fault-free; stores diverge until heal
+				Heal{},
+				Settle{},
+				Workload{Ops: 30, GetFrac: 0.5},
+				Settle{},
+				Check{},
+			},
+		},
+		{
+			// Zipf(1.2) over 12 keys: one region owner absorbs most of
+			// the write traffic, then loses nodes around the hot spot.
+			Name: "hot-keys", Seed: 104,
+			Steps: []Step{
+				Join{N: 25},
+				Workload{Dist: "zipf", Ops: 120, GetFrac: 0.5, Keys: 12},
+				Settle{},
+				Check{},
+				Crash{Count: 3},
+				Settle{},
+				Workload{Dist: "zipf", Ops: 80, GetFrac: 0.5, Keys: 12},
+				Settle{},
+				Check{},
+			},
+		},
+		{
+			// 8% seeded message loss on every link while the store works:
+			// operations may be lost but nothing may corrupt, and the
+			// anti-entropy settle must restore full replication.
+			Name: "lossy-links", Seed: 105,
+			Steps: []Step{
+				Join{N: 25},
+				Workload{Ops: 40},
+				Settle{},
+				Check{},
+				Lossy{Rate: 0.08},
+				Workload{Ops: 80, GetFrac: 0.5},
+				ClearFaults{},
+				Settle{},
+				Check{},
+			},
+		},
+		{
+			// One node's links run 50–120 virtual ticks slow, reordering
+			// its traffic against the whole network, while new nodes keep
+			// joining through the reordered gossip.
+			Name: "straggler", Seed: 106,
+			Steps: []Step{
+				Join{N: 25},
+				Straggler{Node: 3, MinLat: 50, MaxLat: 120},
+				Workload{Ops: 60, GetFrac: 0.3},
+				Join{N: 10},
+				Settle{},
+				Check{},
+				ClearFaults{},
+				Settle{},
+				Check{},
+			},
+		},
+		{
+			// A fifth of the overlay crashes at once with no leave
+			// protocol: survivors must close every hole, re-route orphaned
+			// long links and restore the replication factor.
+			Name: "blackout", Seed: 107,
+			Steps: []Step{
+				Join{N: 30},
+				Workload{Ops: 60},
+				Settle{},
+				Check{},
+				Crash{Count: 6},
+				Settle{},
+				Workload{Ops: 40, GetFrac: 0.5},
+				Settle{},
+				Check{},
+			},
+		},
+		{
+			// Grow, shrink by graceful leaves, regrow: placement and
+			// routing must be exact at every plateau.
+			Name: "elastic", Seed: 108,
+			Steps: []Step{
+				Join{N: 20},
+				Settle{},
+				Check{},
+				Join{N: 20},
+				Workload{Ops: 40},
+				Settle{},
+				Check{},
+				Leave{Count: 15},
+				Settle{},
+				Check{},
+				Join{N: 10},
+				Workload{Ops: 40, GetFrac: 0.5},
+				Settle{},
+				Check{},
+			},
+		},
+	}
+}
+
+// ByName returns the named scenario, or nil.
+func ByName(name string) *Scenario {
+	for _, s := range Scenarios() {
+		if s.Name == name {
+			return &s
+		}
+	}
+	return nil
+}

@@ -1,0 +1,27 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// transcript is the append-only run log. Every line is produced with
+// fixed-precision formatting from deterministic state, so two runs of the
+// same scenario and seed yield byte-identical transcripts — the property
+// the determinism test in harness_test.go pins down.
+type transcript struct {
+	buf  bytes.Buffer
+	line int
+}
+
+func newTranscript() *transcript { return &transcript{} }
+
+// logf appends one numbered line.
+func (t *transcript) logf(format string, args ...any) {
+	t.line++
+	fmt.Fprintf(&t.buf, "%04d %s\n", t.line, fmt.Sprintf(format, args...))
+}
+
+func (t *transcript) bytes() []byte {
+	return append([]byte(nil), t.buf.Bytes()...)
+}

@@ -1,0 +1,91 @@
+package node
+
+import (
+	"voronet/internal/geom"
+	"voronet/internal/proto"
+)
+
+// NotifyDeparted tells the node that the peer at addr has crashed — the
+// input an external failure detector (or a failed transport send, see
+// handleRoute) provides. Unlike a graceful departure, a crashed peer sends
+// no KindLeave and hands nothing off, so the survivor performs the whole
+// RemoveVoronoiRegion surgery from its own state: tombstone the address,
+// close the tessellation hole from the candidate pool (the dead peer's
+// old neighbour list in our two-hop table supplies the hole's border),
+// drop its BLRn entries, re-route our long links it held, and reclaim and
+// re-replicate the store records whose owner disappeared.
+//
+// The method is idempotent: a second notification for a tombstoned
+// address is a no-op, which also bounds the recursion when repair gossip
+// itself hits further dead peers.
+func (n *Node) NotifyDeparted(addr string) {
+	n.mu.Lock()
+	if !n.joined || addr == n.self.Addr || n.tombs[addr] {
+		n.mu.Unlock()
+		return
+	}
+	gone, wasVN := n.vn[addr]
+	n.tombstoneLocked(addr)
+	// Build the pool before dropping the dead peer's list: its old
+	// neighbours are exactly the other border nodes of the hole.
+	pool := n.candidatePool()
+	delete(pool, addr)
+	delete(n.vn, addr)
+	delete(n.twoHop, addr)
+	delete(n.cn, addr)
+	if wasVN {
+		n.recomputeLocked(pool)
+	}
+	// Drop BLRn entries originated by the dead peer: there is no origin
+	// left to serve the link for.
+	kept := n.back[:0]
+	for _, ref := range n.back {
+		if ref.Origin.Addr != addr {
+			kept = append(kept, ref)
+		}
+	}
+	n.back = kept
+	// Long links the dead peer held must be re-routed to the targets' new
+	// owners; clear the slot so routing skips it until the grant arrives.
+	var relink []int
+	for j, h := range n.longNbrs {
+		if h.Addr == addr {
+			n.longNbrs[j] = proto.NodeInfo{}
+			relink = append(relink, j)
+		}
+	}
+	var vns []proto.NodeInfo
+	if wasVN {
+		vns = n.vnList()
+	}
+	dep := n.departedLocked()
+	self := n.self
+	targets := make([]geom.Point, len(relink))
+	for i, j := range relink {
+		targets[i] = n.longTargets[j]
+	}
+	n.mu.Unlock()
+
+	for _, v := range vns {
+		// Best effort: further dead peers are repaired by their own
+		// notifications.
+		_ = n.send(v.Addr, &proto.Envelope{Type: proto.KindNeighborList, From: self, Neighbors: vns, Departed: dep})
+	}
+	for i, j := range relink {
+		env := &proto.Envelope{
+			Type:    proto.KindRoute,
+			Purpose: proto.PurposeLongLink,
+			Target:  targets[i],
+			Origin:  self,
+			Link:    j,
+		}
+		n.handle(self.Addr, mustEncode(env))
+	}
+	// Store repair: records the dead peer owned lost their owner-side
+	// copy; re-replicate the ones we now own and push the rest to their
+	// new owners (who may hold nothing — the dead owner's replica set
+	// need not contain them).
+	if wasVN {
+		n.repairDepartedRecords(self, gone, vns)
+	}
+}

@@ -1,11 +1,14 @@
 package node
 
 import (
+	"errors"
 	"math"
+	"sort"
 
 	"voronet/internal/geom"
 	"voronet/internal/proto"
 	"voronet/internal/store"
+	"voronet/internal/transport"
 )
 
 // handle dispatches one inbound protocol message. The transports guarantee
@@ -17,14 +20,20 @@ func (n *Node) handle(from string, payload []byte) {
 	}
 	n.mu.Lock()
 	// Merge the sender's tombstones: gossip must not resurrect the dead.
+	selfDeparted := false
 	for _, d := range env.Departed {
 		if d != n.self.Addr {
 			n.tombstoneLocked(d)
 		}
+		if d == env.From.Addr {
+			selfDeparted = true
+		}
 	}
 	// A message from a tombstoned address proves it is alive again
-	// (rejoined at the same address): lift the tombstone.
-	if env.Type != proto.KindLeave && env.Type != proto.KindLeaveCN && n.tombs[env.From.Addr] {
+	// (rejoined at the same address): lift the tombstone — unless the
+	// sender lists itself as departed, a farewell message from a node on
+	// its way out.
+	if !selfDeparted && env.Type != proto.KindLeave && env.Type != proto.KindLeaveCN && n.tombs[env.From.Addr] {
 		delete(n.tombs, env.From.Addr)
 	}
 	n.purgeTombstonedLocked()
@@ -65,8 +74,42 @@ func (n *Node) handle(from string, payload []byte) {
 		n.mu.Unlock()
 	case proto.KindBackTransfer:
 		n.mu.Lock()
+		if !n.joined {
+			// We have left but a reordered transfer still reached us.
+			// If the sender has also departed (its farewell marker lists
+			// itself), bouncing would ping-pong between two dead nodes
+			// forever: drop the entries — the origins' long links repair
+			// through the routed re-grant path when they next touch a
+			// dead holder. Otherwise bounce so a live node re-places
+			// them; our farewell marker (Departed contains us) tombstones
+			// us at the recipient, whose rebalance then cannot choose us.
+			self := n.self
+			n.mu.Unlock()
+			fromDeparted := false
+			for _, d := range env.Departed {
+				if d == env.From.Addr {
+					fromDeparted = true
+					break
+				}
+			}
+			if !fromDeparted {
+				_ = n.send(env.From.Addr, &proto.Envelope{
+					Type: proto.KindBackTransfer, From: self, Back: env.Back,
+					Departed: []string{self.Addr},
+				})
+			}
+			return
+		}
 		n.back = append(n.back, env.Back...)
+		// The sender believed we are closer to the targets than it is; a
+		// neighbour of ours may be closer still. Re-placing forwards the
+		// entry along strictly decreasing distance, so the chain
+		// terminates at the true owner. The sender is excluded: a leaving
+		// node delegates its entries while it still sits in our view, and
+		// bouncing one back would strand it on the departed node.
+		moves := n.backRebalanceLocked(env.From.Addr)
 		n.mu.Unlock()
+		n.sendBackMoves(moves)
 	case proto.KindBackWithdraw:
 		n.mu.Lock()
 		for i, ref := range n.back {
@@ -139,7 +182,12 @@ func (n *Node) handleRoute(env *proto.Envelope) {
 		if c.Addr == "" || c.Addr == n.self.Addr || n.tombs[c.Addr] {
 			return
 		}
-		if d := geom.Dist2(c.Pos, env.Target); d < bestD {
+		d := geom.Dist2(c.Pos, env.Target)
+		// Strictly closer wins; among equally close candidates the lowest
+		// address wins (ties with self keep self: the owner stays put).
+		// The tie-break makes the choice independent of map iteration
+		// order, a requirement for replayable chaos transcripts.
+		if d < bestD || (d == bestD && best.Addr != n.self.Addr && c.Addr < best.Addr) {
 			best, bestD = c, d
 		}
 	}
@@ -158,7 +206,21 @@ func (n *Node) handleRoute(env *proto.Envelope) {
 		fwd := *env
 		fwd.Hops++
 		fwd.From = n.self
-		n.send(best.Addr, &fwd)
+		err := n.send(best.Addr, &fwd)
+		if err != nil && !errors.Is(err, transport.ErrUnknownPeer) {
+			// A TCP send can fail transiently — a cached connection the
+			// remote closed while idle — and the retry re-dials. Only a
+			// second failure condemns the peer.
+			err = n.send(best.Addr, &fwd)
+		}
+		if err != nil {
+			// The chosen next hop is unreachable at the transport level —
+			// it crashed without a leave announcement. Repair the views
+			// around it and retry the step with what remains; each retry
+			// tombstones one address, so the recursion terminates.
+			n.NotifyDeparted(best.Addr)
+			n.handleRoute(env)
+		}
 		return
 	}
 
@@ -303,17 +365,13 @@ func (n *Node) integrateNewcomer(j proto.NodeInfo) {
 			cand = append(cand, c)
 		}
 	}
-	// BLRn handover: entries whose target is closer to the newcomer.
-	var transfer []proto.BackEntry
-	kept := n.back[:0]
-	for _, ref := range n.back {
-		if geom.Dist2(j.Pos, ref.Target) < geom.Dist2(n.self.Pos, ref.Target) {
-			transfer = append(transfer, ref)
-		} else {
-			kept = append(kept, ref)
-		}
-	}
-	n.back = kept
+	sort.Slice(cand, func(i, k int) bool { return cand[i].Addr < cand[k].Addr })
+	// BLRn handover: entries some neighbour (usually the newcomer) is now
+	// strictly closer to move to their new owner. The newcomer case of
+	// §4.2.1 is subsumed: if j took over a target's region it is either a
+	// neighbour of ours or reachable through one, and the transfer chain
+	// strictly approaches the target.
+	moves := n.backRebalanceLocked("")
 	var vns []proto.NodeInfo
 	if changed {
 		vns = n.vnList()
@@ -327,21 +385,16 @@ func (n *Node) integrateNewcomer(j proto.NodeInfo) {
 	if len(cand) > 0 {
 		n.send(j.Addr, &proto.Envelope{Type: proto.KindCNAdd, From: n.self, CloseCand: cand})
 	}
-	if len(transfer) > 0 {
-		n.send(j.Addr, &proto.Envelope{Type: proto.KindBackTransfer, From: n.self, Back: transfer})
-		for _, ref := range transfer {
-			n.send(ref.Origin.Addr, &proto.Envelope{
-				Type: proto.KindLongLinkUpdate, From: n.self, Granter: j, Link: ref.Link,
-			})
-		}
-	}
+	n.sendBackMoves(moves)
 	// Store handoff: the records whose key now lies in the newcomer's
 	// region migrate to it (the storage face of AddVoronoiRegion). We keep
 	// our copy as a replica; the newcomer re-replicates.
 	if moved := n.storeHandoffToNewcomer(j); len(moved) > 0 {
-		n.send(j.Addr, &proto.Envelope{
-			Type: proto.KindReplicaSync, From: n.self, Records: moved, Handoff: true,
-		})
+		for _, chunk := range chunkRecords(moved) {
+			n.send(j.Addr, &proto.Envelope{
+				Type: proto.KindReplicaSync, From: n.self, Records: chunk, Handoff: true,
+			})
+		}
 	}
 }
 
@@ -378,8 +431,12 @@ func (n *Node) handleNeighborList(env *proto.Envelope) {
 	changed := n.recomputeLocked(pool)
 	_, nowNbr := n.vn[env.From.Addr]
 	var vns []proto.NodeInfo
+	var moves []backMove
 	if changed {
 		vns = n.vnList()
+		// A sharpened view can reveal a neighbour closer to one of our
+		// BLRn targets: re-place those entries at the new owner.
+		moves = n.backRebalanceLocked("")
 	}
 	// Asymmetry repair: the sender believes we are its neighbour but our
 	// richer pool disagrees (its view holds a false edge). Send it our
@@ -397,6 +454,7 @@ func (n *Node) handleNeighborList(env *proto.Envelope) {
 	if rebut != nil {
 		n.send(env.From.Addr, &proto.Envelope{Type: proto.KindNeighborList, From: n.self, Neighbors: rebut, Departed: dep})
 	}
+	n.sendBackMoves(moves)
 }
 
 // handleCNAdd installs close-neighbour candidates, replying so the
@@ -422,6 +480,83 @@ func (n *Node) handleCNAdd(env *proto.Envelope) {
 	n.mu.Unlock()
 	for _, c := range replyTo {
 		n.send(c.Addr, &proto.Envelope{Type: proto.KindCNAdd, From: self, CloseCand: []proto.NodeInfo{self}})
+	}
+}
+
+// backMove is one BLRn entry due at a holder closer to its target.
+type backMove struct {
+	to  proto.NodeInfo
+	ref proto.BackEntry
+}
+
+// backRebalanceLocked removes from BLRn every entry some current Voronoi
+// neighbour is strictly closer to than this node and returns the moves.
+// The paper keeps each back entry at the owner of its target; under
+// concurrent joins and churn, ownership knowledge sharpens as views
+// converge, so every view change re-places the entries. Each move
+// strictly decreases the holder's distance to the target (ties never
+// move), so transfer chains terminate at the true owner once views are
+// exact — the greedy property guarantees the owner's neighbourhood always
+// contains a closer next holder while the entry is misplaced. exclude
+// (may be empty) names a peer never to move to. Caller holds n.mu.
+func (n *Node) backRebalanceLocked(exclude string) []backMove {
+	if len(n.back) == 0 || len(n.vn) == 0 {
+		return nil
+	}
+	vns := n.vnList()
+	var moves []backMove
+	kept := n.back[:0]
+	for _, ref := range n.back {
+		best := proto.NodeInfo{}
+		bestD := geom.Dist2(n.self.Pos, ref.Target)
+		for _, v := range vns {
+			if v.Addr == exclude {
+				continue
+			}
+			if d := geom.Dist2(v.Pos, ref.Target); d < bestD {
+				best, bestD = v, d
+			}
+		}
+		if best.Addr == "" {
+			kept = append(kept, ref)
+		} else {
+			moves = append(moves, backMove{to: best, ref: ref})
+		}
+	}
+	n.back = kept
+	return moves
+}
+
+// sendBackMoves executes the transfers computed by backRebalanceLocked:
+// each entry travels to its new holder and the link's origin is told who
+// holds it now. A transport-unreachable holder (a crash the views have
+// not caught up with) triggers the departure repair and the entry is
+// re-placed rather than lost; each failure tombstones one address, so
+// the loop terminates. Caller must not hold n.mu.
+func (n *Node) sendBackMoves(moves []backMove) {
+	for len(moves) > 0 {
+		var retry []proto.BackEntry
+		for _, mv := range moves {
+			if err := n.send(mv.to.Addr, &proto.Envelope{
+				Type: proto.KindBackTransfer, From: n.self, Back: []proto.BackEntry{mv.ref},
+			}); err != nil {
+				n.NotifyDeparted(mv.to.Addr)
+				retry = append(retry, mv.ref)
+				continue
+			}
+			// An unreachable origin keeps a stale pointer; it repairs
+			// itself when it next routes through the dead holder.
+			_ = n.send(mv.ref.Origin.Addr, &proto.Envelope{
+				Type: proto.KindLongLinkUpdate, From: n.self, Granter: mv.to, Link: mv.ref.Link,
+			})
+		}
+		if len(retry) == 0 {
+			return
+		}
+		n.mu.Lock()
+		n.back = append(n.back, retry...)
+		moves = n.backRebalanceLocked("")
+		n.mu.Unlock()
 	}
 }
 
@@ -452,13 +587,10 @@ func (n *Node) handleLeave(env *proto.Envelope) {
 			Type: proto.KindNeighborList, From: n.self, Neighbors: vns, Departed: dep,
 		})
 	}
-	// Store reclaim: records the departed node owned and we now own (no
-	// surviving neighbour is closer) lost their owner-side replicas, so we
-	// restore the replication factor (the storage face of
-	// RemoveVoronoiRegion).
-	if recs := storeReclaimAfterLeave(n.kv, n.self, env.From, vns); len(recs) > 0 {
-		n.replicateRecords(recs, false, gone)
-	}
+	// Store repair: records the departed node owned lost their owner-side
+	// copy; re-replicate the ones we now own and push the rest to their
+	// new owners (the storage face of RemoveVoronoiRegion).
+	n.repairDepartedRecords(n.self, env.From, vns)
 }
 
 // candidatePool gathers self + vn + two-hop nodes, excluding tombstoned
@@ -553,12 +685,16 @@ func (n *Node) recomputeLocked(pool map[string]proto.NodeInfo) bool {
 	return changed
 }
 
-// vnList snapshots vn as a slice. Caller holds n.mu.
+// vnList snapshots vn as a slice, sorted by address: the list rides on the
+// wire and drives send loops, and deterministic chaos transcripts require
+// that map iteration order never leak into the message sequence. Caller
+// holds n.mu.
 func (n *Node) vnList() []proto.NodeInfo {
 	out := make([]proto.NodeInfo, 0, len(n.vn))
 	for _, v := range n.vn {
 		out = append(out, v)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
 	return out
 }
 

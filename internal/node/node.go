@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
@@ -85,6 +86,11 @@ type Node struct {
 	// resurrect them (see handle). tombOrder bounds what we re-advertise.
 	tombs     map[string]bool
 	tombOrder []string
+
+	// lastVN snapshots the Voronoi neighbour list at departure: a store
+	// handoff bounced back after Leave is re-delegated through it rather
+	// than stranded (see handleReplicaSync).
+	lastVN []proto.NodeInfo
 
 	queryMu  sync.Mutex
 	queries  map[uint64]func(owner proto.NodeInfo, hops int)
@@ -271,6 +277,15 @@ func (n *Node) Leave() error {
 		env *proto.Envelope
 	}
 	var out []outMsg
+	// All iteration below runs over sorted snapshots: the resulting
+	// message sequence must be deterministic for replayable chaos runs.
+	vns := n.vnList()
+	n.lastVN = vns
+	cns := make([]proto.NodeInfo, 0, len(n.cn))
+	for _, c := range n.cn {
+		cns = append(cns, c)
+	}
+	sort.Slice(cns, func(i, j int) bool { return cns[i].Addr < cns[j].Addr })
 
 	// Delegate BLRn entries to the Voronoi neighbour closest to each
 	// target; after our region disappears that neighbour owns the target.
@@ -280,7 +295,7 @@ func (n *Node) Leave() error {
 		}
 		best := proto.NodeInfo{}
 		bestD := math.Inf(1)
-		for _, v := range n.vn {
+		for _, v := range vns {
 			if d := geom.Dist2(v.Pos, ref.Target); d < bestD {
 				best, bestD = v, d
 			}
@@ -307,22 +322,26 @@ func (n *Node) Leave() error {
 	// Voronoi neighbour closest to its key — after our region disappears
 	// that neighbour owns the key — marked Handoff so the recipient
 	// restores the replication factor.
-	if recs := n.kv.Snapshot(); len(recs) > 0 && len(n.vn) > 0 {
-		batches := make(map[string][]proto.StoreRecord)
-		for _, rec := range recs {
+	if recs := n.kv.Snapshot(); len(recs) > 0 && len(vns) > 0 {
+		order, batches := batchRecords(recs, func(rec proto.StoreRecord) string {
 			best := ""
 			bestD := math.Inf(1)
-			for _, v := range n.vn {
+			for _, v := range vns {
+				// vns is sorted by address, so the strict < keeps the
+				// lowest-address neighbour on ties — the same rule as
+				// ownerForKey.
 				if d := geom.Dist2(v.Pos, rec.Key); d < bestD {
 					best, bestD = v.Addr, d
 				}
 			}
-			batches[best] = append(batches[best], rec)
-		}
-		for addr, recs := range batches {
-			out = append(out, outMsg{addr, &proto.Envelope{
-				Type: proto.KindReplicaSync, From: n.self, Records: recs, Handoff: true,
-			}})
+			return best
+		})
+		for _, addr := range order {
+			for _, chunk := range chunkRecords(batches[addr]) {
+				out = append(out, outMsg{addr, &proto.Envelope{
+					Type: proto.KindReplicaSync, From: n.self, Records: chunk, Handoff: true,
+				}})
+			}
 		}
 	}
 	// Clear in place: handlers read n.kv without n.mu, so the pointer
@@ -331,10 +350,10 @@ func (n *Node) Leave() error {
 
 	// Tell the neighbourhood to close the hole and close neighbours to
 	// forget us.
-	for _, v := range n.vn {
+	for _, v := range vns {
 		out = append(out, outMsg{v.Addr, &proto.Envelope{Type: proto.KindLeave, From: n.self}})
 	}
-	for _, c := range n.cn {
+	for _, c := range cns {
 		out = append(out, outMsg{c.Addr, &proto.Envelope{Type: proto.KindLeaveCN, From: n.self}})
 	}
 	n.vn = map[string]proto.NodeInfo{}
@@ -395,7 +414,9 @@ func (n *Node) String() string {
 
 // miniNeighbors rebuilds this node's Voronoi neighbour list from a
 // candidate pool via a local Delaunay computation. pool must contain the
-// node itself.
+// node itself. Candidates are inserted in address order so the resulting
+// neighbour list — which rides on the wire in grants and gossip — is
+// independent of map iteration order.
 func miniNeighbors(self proto.NodeInfo, pool map[string]proto.NodeInfo) []proto.NodeInfo {
 	tr := delaunay.New()
 	byVert := make(map[delaunay.VertexID]proto.NodeInfo, len(pool))
@@ -406,10 +427,15 @@ func miniNeighbors(self proto.NodeInfo, pool map[string]proto.NodeInfo) []proto.
 		selfV = sv
 		byVert[sv] = self
 	}
-	for _, inf := range pool {
-		if inf.Addr == self.Addr {
-			continue
+	addrs := make([]string, 0, len(pool))
+	for a := range pool {
+		if a != self.Addr {
+			addrs = append(addrs, a)
 		}
+	}
+	sort.Strings(addrs)
+	for _, a := range addrs {
+		inf := pool[a]
 		v, err := tr.Insert(inf.Pos, delaunay.NoVertex)
 		if err != nil {
 			continue // duplicate position: ignore the shadowed candidate

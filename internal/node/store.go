@@ -1,12 +1,41 @@
 package node
 
 import (
+	"math"
 	"sort"
 
 	"voronet/internal/geom"
 	"voronet/internal/proto"
 	"voronet/internal/store"
 )
+
+// maxSyncBatchBytes bounds the record payload of one KindReplicaSync
+// envelope so frames stay far below proto.MaxEnvelopeBytes and the TCP
+// frame cap whatever the batch size — large handoffs are chunked, never
+// silently rejected by the decoder.
+const maxSyncBatchBytes = 256 << 10
+
+// chunkRecords splits recs into envelope-sized chunks (cumulative value
+// bytes plus per-record overhead under maxSyncBatchBytes; always at least
+// one record per chunk).
+func chunkRecords(recs []proto.StoreRecord) [][]proto.StoreRecord {
+	var out [][]proto.StoreRecord
+	var cur []proto.StoreRecord
+	size := 0
+	for _, rec := range recs {
+		sz := len(rec.Value) + 64
+		if len(cur) > 0 && size+sz > maxSyncBatchBytes {
+			out = append(out, cur)
+			cur, size = nil, 0
+		}
+		cur = append(cur, rec)
+		size += sz
+	}
+	if len(cur) > 0 {
+		out = append(out, cur)
+	}
+	return out
+}
 
 // The node face of the attribute-addressed object store (internal/store):
 // Put / Get / Delete greedy-route the operation to the owner of the key's
@@ -36,6 +65,11 @@ func (n *Node) Delete(key geom.Point, cb func(store.Reply)) error {
 }
 
 func (n *Node) storeOp(purpose proto.RoutedPurpose, key geom.Point, value []byte, cb func(store.Reply)) error {
+	if purpose == proto.PurposeStorePut && len(value) > store.MaxValueBytes {
+		// Reject loudly: an oversized envelope would be dropped by the
+		// frame decoder and the operation would hang until its timeout.
+		return store.ErrValueTooLarge
+	}
 	n.mu.Lock()
 	if !n.joined {
 		n.mu.Unlock()
@@ -119,6 +153,102 @@ func (n *Node) StoreLen() int { return n.kv.Len() }
 // StoreSnapshot returns every record this node holds, tombstones included.
 func (n *Node) StoreSnapshot() []proto.StoreRecord { return n.kv.Snapshot() }
 
+// StoreLookup returns this node's local record for key, tombstones
+// included (invariant checkers inspect replica placement without routing).
+func (n *Node) StoreLookup(key geom.Point) (proto.StoreRecord, bool) { return n.kv.Lookup(key) }
+
+// SyncReplicas is the anti-entropy sweep that restores placement after a
+// fault epoch (a healed partition, a repaired crash): every record this
+// node holds is pushed toward where it belongs. Records this node owns —
+// per its local view, no Voronoi neighbour is closer to the key — go to
+// their replica set, replaying any replica push lost to a fault. Records
+// it merely holds go to the key's owner as a handoff: a crash can leave
+// the new owner of a region without copies of its keys (the old owner's
+// replica set need not contain the new owner), and only the surviving
+// holders can close that gap. Recipients apply idempotently — newer
+// version wins, equal versions keep the resident record — so repeated
+// sweeps converge. It returns the number of records pushed.
+func (n *Node) SyncReplicas() int {
+	n.mu.Lock()
+	if !n.joined {
+		n.mu.Unlock()
+		return 0
+	}
+	self := n.self
+	vns := n.vnList()
+	n.mu.Unlock()
+	recs := n.kv.Snapshot()
+	if len(recs) == 0 {
+		return 0
+	}
+	n.pushByOwner(self, vns, recs, "")
+	return len(recs)
+}
+
+// batchRecords groups recs by the address assign returns, preserving
+// first-seen order so derived message sequences are deterministic. An
+// empty assignment drops the record.
+func batchRecords(recs []proto.StoreRecord, assign func(proto.StoreRecord) string) ([]string, map[string][]proto.StoreRecord) {
+	batches := make(map[string][]proto.StoreRecord)
+	var order []string
+	for _, rec := range recs {
+		addr := assign(rec)
+		if addr == "" {
+			continue
+		}
+		if _, seen := batches[addr]; !seen {
+			order = append(order, addr)
+		}
+		batches[addr] = append(batches[addr], rec)
+	}
+	return order, batches
+}
+
+// pushByOwner sends each record toward where the local view places it:
+// records this node owns go to their replica set via replicateRecords,
+// the rest travel to the key's owner as a handoff (the owner
+// re-replicates anything that changed its state). exclude names a peer
+// never to replicate to (a departed address). Caller must not hold n.mu.
+func (n *Node) pushByOwner(self proto.NodeInfo, vns []proto.NodeInfo, recs []proto.StoreRecord, exclude string) {
+	var owned []proto.StoreRecord
+	order, batches := batchRecords(recs, func(rec proto.StoreRecord) string {
+		owner, isSelf := ownerForKey(self, vns, rec.Key)
+		if isSelf {
+			owned = append(owned, rec)
+			return ""
+		}
+		return owner.Addr
+	})
+	if len(owned) > 0 {
+		n.replicateRecords(owned, false, exclude)
+	}
+	for _, addr := range order {
+		for _, chunk := range chunkRecords(batches[addr]) {
+			// Best effort: an unreachable owner is repaired by its own
+			// departure notifications.
+			_ = n.send(addr, &proto.Envelope{
+				Type: proto.KindReplicaSync, From: self, Records: chunk, Handoff: true,
+			})
+		}
+	}
+}
+
+// ownerForKey returns the owner of key per this view — the nearest of
+// self and vns, ties to the lowest address with self winning its ties —
+// and whether it is self.
+func ownerForKey(self proto.NodeInfo, vns []proto.NodeInfo, key geom.Point) (proto.NodeInfo, bool) {
+	best := self
+	bestD := geom.Dist2(self.Pos, key)
+	isSelf := true
+	for _, v := range vns {
+		d := geom.Dist2(v.Pos, key)
+		if d < bestD || (d == bestD && !isSelf && v.Addr < best.Addr) {
+			best, bestD, isSelf = v, d, false
+		}
+	}
+	return best, isSelf
+}
+
 // handleStoreOwned executes a routed store operation at the owner of the
 // key's region (no neighbour is closer to the key).
 func (n *Node) handleStoreOwned(env *proto.Envelope) {
@@ -161,8 +291,26 @@ func (n *Node) replyStoreHit(env *proto.Envelope, rec proto.StoreRecord) {
 
 // handleReplicaSync merges pushed records; a handoff makes this node the
 // new owner of the carried keys, so it restores the replication factor by
-// pushing them to its own neighbourhood.
+// pushing them to its own neighbourhood. A handoff that arrives after
+// this node has itself left is re-delegated, never absorbed: applying it
+// to a cleared store on a departed node would strand the records (two
+// adjacent nodes leaving concurrently hand their records to each other).
 func (n *Node) handleReplicaSync(env *proto.Envelope) {
+	n.mu.Lock()
+	joined := n.joined
+	self := n.self
+	var lastVN []proto.NodeInfo
+	if !joined {
+		lastVN = append([]proto.NodeInfo(nil), n.lastVN...)
+	}
+	n.mu.Unlock()
+	if !joined {
+		if env.Handoff {
+			n.redelegateHandoff(env, self, lastVN)
+		}
+		// A plain replica refresh to a departed node is stale: drop.
+		return
+	}
 	// Only records that actually changed local state are re-replicated:
 	// overlapping handoff batches from several affected neighbours would
 	// otherwise each trigger a redundant replication round.
@@ -176,6 +324,73 @@ func (n *Node) handleReplicaSync(env *proto.Envelope) {
 		// Exclude the sender: a leaving node hands off and must not be
 		// re-replicated to.
 		n.replicateRecords(changed, false, env.From.Addr)
+	}
+}
+
+// redelegateHandoff forwards a handoff that reached this node after it
+// left: each record travels to the nearest pre-departure neighbour not
+// known to have departed. The exclusion set accumulates along the chain
+// (every hop adds itself to the farewell Departed list, and a
+// transport-unreachable candidate — a silent crash — joins it locally),
+// so concurrent leavers cannot ping-pong a batch and the chain terminates
+// at a live node — or, when every candidate is gone, drops the records
+// exactly as if the whole group had crashed.
+func (n *Node) redelegateHandoff(env *proto.Envelope, self proto.NodeInfo, lastVN []proto.NodeInfo) {
+	// dead excludes candidates from selection; gone is the subset that is
+	// confirmed departed and safe to broadcast. The original sender is
+	// only excluded locally: it may be a live node pushing with a stale
+	// view, and putting it on the wire Departed list would tombstone it
+	// across the overlay.
+	dead := map[string]bool{self.Addr: true, env.From.Addr: true}
+	gone := map[string]bool{self.Addr: true}
+	for _, d := range env.Departed {
+		dead[d] = true
+		gone[d] = true
+	}
+	pending := env.Records
+	for len(pending) > 0 {
+		depart := make([]string, 0, len(gone))
+		for a := range gone {
+			depart = append(depart, a)
+		}
+		sort.Strings(depart)
+		order, batches := batchRecords(pending, func(rec proto.StoreRecord) string {
+			best := ""
+			bestD := math.Inf(1)
+			for _, v := range lastVN {
+				if dead[v.Addr] {
+					continue
+				}
+				if d := geom.Dist2(v.Pos, rec.Key); d < bestD || (d == bestD && v.Addr < best) {
+					best, bestD = v.Addr, d
+				}
+			}
+			return best // "" when no surviving candidate: the record dies with us
+		})
+		if len(order) == 0 {
+			return
+		}
+		pending = nil
+		for _, addr := range order {
+			failed := false
+			for _, chunk := range chunkRecords(batches[addr]) {
+				if err := n.send(addr, &proto.Envelope{
+					Type: proto.KindReplicaSync, From: self, Records: chunk,
+					Handoff: true, Departed: depart,
+				}); err != nil {
+					failed = true
+					break // structural failure: further chunks fail too
+				}
+			}
+			if failed {
+				// The candidate crashed without a farewell: exclude it
+				// and retry the batch with the next survivor (duplicate
+				// chunks that did land are applied idempotently).
+				dead[addr] = true
+				gone[addr] = true
+				pending = append(pending, batches[addr]...)
+			}
+		}
 	}
 }
 
@@ -194,7 +409,13 @@ func (n *Node) replicateRecords(recs []proto.StoreRecord, handoff bool, exclude 
 	order := make([]string, 0, len(vns))
 	for _, rec := range recs {
 		sort.Slice(vns, func(i, j int) bool {
-			return geom.Dist2(vns[i].Pos, rec.Key) < geom.Dist2(vns[j].Pos, rec.Key)
+			di, dj := geom.Dist2(vns[i].Pos, rec.Key), geom.Dist2(vns[j].Pos, rec.Key)
+			if di != dj {
+				return di < dj
+			}
+			// Equidistant replicas rank by address so the replica set is
+			// the same no matter which node computes it.
+			return vns[i].Addr < vns[j].Addr
 		})
 		picked := 0
 		for _, v := range vns {
@@ -212,9 +433,11 @@ func (n *Node) replicateRecords(recs []proto.StoreRecord, handoff bool, exclude 
 		}
 	}
 	for _, addr := range order {
-		n.send(addr, &proto.Envelope{
-			Type: proto.KindReplicaSync, From: n.self, Records: batches[addr], Handoff: handoff,
-		})
+		for _, chunk := range chunkRecords(batches[addr]) {
+			n.send(addr, &proto.Envelope{
+				Type: proto.KindReplicaSync, From: n.self, Records: chunk, Handoff: handoff,
+			})
+		}
 	}
 }
 
@@ -275,21 +498,20 @@ func (n *Node) storeHandoffToNewcomer(j proto.NodeInfo) []proto.StoreRecord {
 	})
 }
 
-// storeReclaimAfterLeave collects the records this node owns now that
-// `gone` departed: the departed node was closer to the key than we are,
-// and no current neighbour beats us. Those records lost their owner, so
-// the new owner re-replicates them.
-func storeReclaimAfterLeave(kv *store.Local, self proto.NodeInfo, gone proto.NodeInfo, vns []proto.NodeInfo) []proto.StoreRecord {
-	return kv.Collect(func(k geom.Point) bool {
-		d := geom.Dist2(self.Pos, k)
-		if geom.Dist2(gone.Pos, k) >= d {
-			return false // we already owned (or tied on) this key
-		}
-		for _, v := range vns {
-			if geom.Dist2(v.Pos, k) < d {
-				return false // a surviving neighbour owns it
-			}
-		}
-		return true
+// repairDepartedRecords restores store placement after the peer at gone
+// departed without a handoff: every record gone was strictly closer to
+// than we are lost its owner-side copy. Records we now own are
+// re-replicated from here; records a surviving neighbour owns are pushed
+// to it as a handoff — the new owner may hold nothing at all, since the
+// old owner's replica set need not contain it, and only surviving holders
+// can close that gap. vns must already exclude the departed peer; caller
+// must not hold n.mu.
+func (n *Node) repairDepartedRecords(self, gone proto.NodeInfo, vns []proto.NodeInfo) {
+	affected := n.kv.Collect(func(k geom.Point) bool {
+		return geom.Dist2(gone.Pos, k) < geom.Dist2(self.Pos, k)
 	})
+	if len(affected) == 0 {
+		return
+	}
+	n.pushByOwner(self, vns, affected, gone.Addr)
 }

@@ -1,0 +1,79 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+
+	"voronet/internal/geom"
+)
+
+// fuzzSeeds returns one representative envelope per interesting shape so
+// the fuzzer starts from structurally valid wire bytes.
+func fuzzSeeds() []*Envelope {
+	return []*Envelope{
+		{Type: KindRoute, Purpose: PurposeJoin, Target: geom.Pt(0.25, 0.75),
+			Origin: NodeInfo{Addr: "n001", Pos: geom.Pt(0.1, 0.2)}, Hops: 3},
+		{Type: KindJoinGrant, From: NodeInfo{Addr: "owner", Pos: geom.Pt(0.5, 0.5)},
+			Neighbors: []NodeInfo{{Addr: "a", Pos: geom.Pt(0.3, 0.3)}, {Addr: "b", Pos: geom.Pt(0.7, 0.7)}},
+			TwoHop:    []NeighborRecord{{Node: NodeInfo{Addr: "a"}, VN: []NodeInfo{{Addr: "b"}}}}},
+		{Type: KindLongLinkGrant, From: NodeInfo{Addr: "g"}, Link: 2, Hops: 7},
+		{Type: KindBackTransfer, Back: []BackEntry{{Origin: NodeInfo{Addr: "o"}, Link: 1, Target: geom.Pt(0.9, 0.1)}}},
+		{Type: KindRoute, Purpose: PurposeStorePut, Target: geom.Pt(0.42, 0.43),
+			Value: []byte("payload"), QueryID: 99},
+		{Type: KindStoreReply, Found: true, Value: []byte("v"), Version: 12, QueryID: 99},
+		{Type: KindReplicaSync, Records: []StoreRecord{
+			{Key: geom.Pt(0.1, 0.9), Value: []byte("x"), Version: 4},
+			{Key: geom.Pt(0.2, 0.8), Version: 5, Deleted: true},
+		}, Handoff: true},
+		{Type: KindNeighborList, Departed: []string{"dead1", "dead2"}},
+	}
+}
+
+// FuzzEnvelopeRoundTrip feeds arbitrary bytes to Decode: garbage must be
+// rejected with an error (never a panic — a node drops the frame and stays
+// up), and anything Decode does accept must re-encode and re-decode to the
+// same wire bytes, so a decoded envelope can always be forwarded intact.
+func FuzzEnvelopeRoundTrip(f *testing.F) {
+	for _, env := range fuzzSeeds() {
+		b, err := Encode(env)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0x00, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := Decode(data)
+		if err != nil {
+			return // malformed input rejected cleanly: the contract holds
+		}
+		b1, err := Encode(env)
+		if err != nil {
+			t.Fatalf("accepted envelope failed to re-encode: %v", err)
+		}
+		env2, err := Decode(b1)
+		if err != nil {
+			t.Fatalf("re-encoded envelope failed to decode: %v", err)
+		}
+		b2, err := Encode(env2)
+		if err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("encode/decode is not a fixpoint:\n%x\n%x", b1, b2)
+		}
+	})
+}
+
+func TestDecodeRejectsOversizedFrame(t *testing.T) {
+	big := make([]byte, MaxEnvelopeBytes+1)
+	if _, err := Decode(big); err == nil {
+		t.Fatal("oversized frame must be rejected")
+	}
+	env, err := Decode(nil)
+	if err == nil {
+		t.Fatalf("empty frame decoded to %+v", env)
+	}
+}

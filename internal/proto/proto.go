@@ -176,6 +176,12 @@ type Envelope struct {
 	Handoff bool          // KindReplicaSync: recipient becomes the owner
 }
 
+// MaxEnvelopeBytes bounds an accepted wire frame (it matches the TCP
+// transport's 1 MiB frame cap). VoroNet views are O(1), so real envelopes
+// are tiny; the bound keeps a malicious length prefix from making gob
+// allocate unboundedly before the payload is even validated.
+const MaxEnvelopeBytes = 1 << 20
+
 // Encode serialises an envelope with gob.
 func Encode(e *Envelope) ([]byte, error) {
 	var buf bytes.Buffer
@@ -185,8 +191,12 @@ func Encode(e *Envelope) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// Decode deserialises an envelope.
+// Decode deserialises an envelope. Malformed bytes yield an error, never a
+// panic: nodes drop garbage frames and stay up (see FuzzEnvelopeRoundTrip).
 func Decode(b []byte) (*Envelope, error) {
+	if len(b) > MaxEnvelopeBytes {
+		return nil, fmt.Errorf("proto: decode: frame of %d bytes exceeds %d", len(b), MaxEnvelopeBytes)
+	}
 	var e Envelope
 	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&e); err != nil {
 		return nil, fmt.Errorf("proto: decode: %w", err)

@@ -187,6 +187,27 @@ func LinearFit(x, y []float64) Fit {
 	return Fit{Slope: slope, Intercept: intercept, R2: r2}
 }
 
+// ChiSquared returns the χ² statistic Σ (obs−exp)²/exp for observed bucket
+// counts against expected counts. Buckets with non-positive expectation
+// are skipped (they carry no information). Statistical tests compare the
+// result against a critical value for their degrees of freedom — e.g. the
+// kleinberg long-link sampling test checks its radius histogram against
+// the d-harmonic law this way.
+func ChiSquared(observed, expected []float64) float64 {
+	if len(observed) != len(expected) {
+		return math.Inf(1)
+	}
+	s := 0.0
+	for i := range observed {
+		if expected[i] <= 0 {
+			continue
+		}
+		d := observed[i] - expected[i]
+		s += d * d / expected[i]
+	}
+	return s
+}
+
 // Percentile returns the p-th percentile (0..100) of xs (which it sorts).
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {

@@ -118,3 +118,22 @@ func TestPercentile(t *testing.T) {
 		t.Fatalf("empty %g", got)
 	}
 }
+
+func TestChiSquared(t *testing.T) {
+	// Perfect agreement scores zero.
+	if got := ChiSquared([]float64{10, 20, 30}, []float64{10, 20, 30}); got != 0 {
+		t.Fatalf("exact fit scored %g", got)
+	}
+	// One bucket off by its own expectation contributes exactly 1·exp/exp.
+	if got := ChiSquared([]float64{20, 20}, []float64{10, 20}); got != 10 {
+		t.Fatalf("single deviation scored %g, want 10", got)
+	}
+	// Zero-expectation buckets are skipped, not divided by.
+	if got := ChiSquared([]float64{5, 10}, []float64{0, 10}); got != 0 {
+		t.Fatalf("zero-expectation bucket scored %g", got)
+	}
+	// Length mismatch is an unconditional rejection.
+	if got := ChiSquared([]float64{1}, []float64{1, 2}); !math.IsInf(got, 1) {
+		t.Fatalf("length mismatch scored %g", got)
+	}
+}

@@ -19,6 +19,7 @@ package store
 
 import (
 	"errors"
+	"sort"
 	"sync"
 
 	"voronet/internal/geom"
@@ -30,6 +31,12 @@ import (
 // closest to the key.
 const DefaultReplication = 3
 
+// MaxValueBytes bounds a single stored value. Routed operations travel in
+// one wire envelope (capped at proto.MaxEnvelopeBytes ≈ 1 MiB, matching
+// the TCP frame limit), so oversized values are rejected loudly at Put
+// instead of being dropped silently by the frame decoder.
+const MaxValueBytes = 512 << 10
+
 // Errors returned by store operations.
 var (
 	// ErrNotFound reports a GET or DELETE for a key with no live record.
@@ -37,6 +44,8 @@ var (
 	// ErrTimeout reports a routed operation whose reply did not arrive
 	// within the request timeout.
 	ErrTimeout = errors.New("store: request timed out")
+	// ErrValueTooLarge reports a PUT whose value exceeds MaxValueBytes.
+	ErrValueTooLarge = errors.New("store: value exceeds MaxValueBytes")
 )
 
 // Local is a thread-safe keyed store holding the records (live and
@@ -138,7 +147,8 @@ func (l *Local) Len() int {
 	return n
 }
 
-// Snapshot returns every record, tombstones included.
+// Snapshot returns every record, tombstones included, sorted by key so
+// that message sequences derived from it are deterministic.
 func (l *Local) Snapshot() []proto.StoreRecord {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -146,12 +156,14 @@ func (l *Local) Snapshot() []proto.StoreRecord {
 	for _, rec := range l.recs {
 		out = append(out, rec)
 	}
+	sortRecords(out)
 	return out
 }
 
 // Collect returns the records whose key satisfies pred, tombstones
 // included (a tombstone must migrate like a value, or a stale replica
-// could resurrect the deleted key at the new owner).
+// could resurrect the deleted key at the new owner). The result is sorted
+// by key so that message sequences derived from it are deterministic.
 func (l *Local) Collect(pred func(key geom.Point) bool) []proto.StoreRecord {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -161,5 +173,18 @@ func (l *Local) Collect(pred func(key geom.Point) bool) []proto.StoreRecord {
 			out = append(out, rec)
 		}
 	}
+	sortRecords(out)
 	return out
+}
+
+// sortRecords orders records by key, X before Y (map iteration order must
+// never leak into the wire: replayable chaos transcripts depend on it).
+func sortRecords(recs []proto.StoreRecord) {
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i].Key, recs[j].Key
+		if a.X != b.X {
+			return a.X < b.X
+		}
+		return a.Y < b.Y
+	})
 }

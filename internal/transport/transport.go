@@ -1,11 +1,14 @@
 // Package transport carries opaque messages between VoroNet nodes. Two
-// implementations are provided: a deterministic in-memory bus for protocol
-// tests and simulation, and a TCP transport (net) for real deployments.
+// implementations are provided: a deterministic in-memory simnet (Bus) for
+// protocol tests, simulation and chaos scenarios, and a TCP transport
+// (net) for real deployments.
 package transport
 
 import (
+	"container/heap"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 )
 
@@ -28,26 +31,92 @@ type Endpoint interface {
 // ErrUnknownPeer reports a send to an address that is not attached.
 var ErrUnknownPeer = errors.New("transport: unknown peer")
 
-// Bus is an in-memory message bus with FIFO delivery. Messages are queued
-// and delivered by Drain in deterministic order, which makes distributed
-// protocol runs reproducible and free of re-entrancy.
+// Bus is an in-memory simnet. Messages are timestamped in virtual time at
+// Send and delivered by Drain in (delivery time, send sequence) order, so
+// a fault-free bus behaves as a FIFO queue and latency rules reorder
+// deliveries exactly as a real network would. All fault decisions — drops,
+// latencies, partitions — are drawn from a single seeded RNG at Send time,
+// which makes whole distributed protocol runs reproducible bit for bit.
+//
+// Fault injection is per directed link: SetLinkRule pins a rule to one
+// (from, to) pair, SetPeerRule to every link touching one address, and
+// SetDefaultRule to everything else. Named partitions drop messages that
+// cross group boundaries until healed. Faults never surface as Send
+// errors: like a real lossy network, the message silently disappears (and
+// the Dropped counter increments). Send errors are reserved for structural
+// conditions — a closed endpoint or an address that was never attached or
+// has crashed.
 type Bus struct {
 	mu    sync.Mutex
 	peers map[string]*busEndpoint
-	queue []busMsg
-	// Delivered counts messages delivered since creation (protocol cost
-	// measurements).
+	queue msgQueue
+	seq   uint64
+	now   uint64
+	rng   *rand.Rand
+
+	// Delivered counts messages actually handed to a handler since
+	// creation (protocol cost measurements).
 	Delivered uint64
+	// Dropped counts messages lost to fault injection — DropRate, link
+	// rules, partitions — or to a destination that detached while the
+	// message was in flight.
+	Dropped uint64
 	// DropRate in [0,1] silently drops a deterministic fraction of
-	// messages (failure injection in tests). The counter increments on
-	// drops too.
+	// messages (legacy failure injection: every k-th send with
+	// k = 1/DropRate). Prefer LinkRule.Drop for seeded probabilistic loss.
 	DropRate float64
 	dropSeq  uint64
+
+	defRule    LinkRule
+	linkRules  map[[2]string]LinkRule
+	peerRules  map[string]LinkRule
+	partitions map[string]map[string]int
+}
+
+// LinkRule describes fault injection for a set of directed links. The zero
+// value is a perfect link: zero latency, no loss.
+type LinkRule struct {
+	// MinLatency and MaxLatency bound the virtual-time delivery delay in
+	// ticks; each message draws uniformly from [MinLatency, MaxLatency].
+	// Unequal latencies across links reorder deliveries.
+	MinLatency, MaxLatency uint64
+	// Drop is the probability in [0,1] that a message on the link is
+	// silently lost, drawn from the bus's seeded RNG.
+	Drop float64
+	// Down severs the link while set: every message is dropped. A one-way
+	// failure is expressed by setting Down on one direction only.
+	Down bool
+	// DropFrom and DropUntil schedule an outage in virtual time: a
+	// message sent at now ∈ [DropFrom, DropUntil) is dropped. The window
+	// is inactive when DropUntil is zero.
+	DropFrom, DropUntil uint64
 }
 
 type busMsg struct {
+	at       uint64 // virtual delivery time
+	seq      uint64 // send order, ties broken FIFO
 	from, to string
 	payload  []byte
+}
+
+// msgQueue is a delivery-time-ordered heap of in-flight messages.
+type msgQueue []busMsg
+
+func (q msgQueue) Len() int { return len(q) }
+func (q msgQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q msgQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *msgQueue) Push(x any)   { *q = append(*q, x.(busMsg)) }
+func (q *msgQueue) Pop() any {
+	old := *q
+	n := len(old)
+	m := old[n-1]
+	*q = old[:n-1]
+	return m
 }
 
 type busEndpoint struct {
@@ -57,9 +126,20 @@ type busEndpoint struct {
 	closed  bool
 }
 
-// NewBus returns an empty bus.
-func NewBus() *Bus {
-	return &Bus{peers: make(map[string]*busEndpoint)}
+// NewBus returns an empty bus with a fixed default seed (fault draws are
+// deterministic out of the box).
+func NewBus() *Bus { return NewSeededBus(1) }
+
+// NewSeededBus returns an empty bus whose fault decisions (probabilistic
+// drops, latency draws) follow the given seed.
+func NewSeededBus(seed int64) *Bus {
+	return &Bus{
+		peers:      make(map[string]*busEndpoint),
+		rng:        rand.New(rand.NewSource(seed)),
+		linkRules:  make(map[[2]string]LinkRule),
+		peerRules:  make(map[string]LinkRule),
+		partitions: make(map[string]map[string]int),
+	}
 }
 
 // Attach creates an endpoint with the given address.
@@ -74,9 +154,122 @@ func (b *Bus) Attach(addr string) (Endpoint, error) {
 	return ep, nil
 }
 
-// Drain delivers queued messages (including ones enqueued by handlers
-// during the drain) until the queue is empty. It returns the number of
-// messages delivered.
+// SetDefaultRule installs the rule applied to links with no more specific
+// rule.
+func (b *Bus) SetDefaultRule(r LinkRule) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.defRule = r
+}
+
+// SetLinkRule pins a rule to the directed link from → to, overriding peer
+// and default rules.
+func (b *Bus) SetLinkRule(from, to string, r LinkRule) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.linkRules[[2]string{from, to}] = r
+}
+
+// SetPeerRule applies a rule to every link into or out of addr (a slow or
+// flaky host rather than a single bad cable). An exact link rule wins; the
+// destination's peer rule is consulted before the source's.
+func (b *Bus) SetPeerRule(addr string, r LinkRule) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.peerRules[addr] = r
+}
+
+// ClearRules removes every link, peer and default rule. Installed
+// partitions are unaffected (heal them explicitly).
+func (b *Bus) ClearRules() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.defRule = LinkRule{}
+	b.linkRules = make(map[[2]string]LinkRule)
+	b.peerRules = make(map[string]LinkRule)
+}
+
+// InstallPartition installs (or replaces) a named partition: a message
+// whose source and destination fall in different groups is dropped.
+// Addresses absent from every group are unconstrained by this partition.
+// The partition persists until HealPartition or Heal.
+func (b *Bus) InstallPartition(name string, groups ...[]string) {
+	m := make(map[string]int)
+	for gi, g := range groups {
+		for _, a := range g {
+			m[a] = gi
+		}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.partitions[name] = m
+}
+
+// HealPartition removes the named partition.
+func (b *Bus) HealPartition(name string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.partitions, name)
+}
+
+// Heal removes every installed partition.
+func (b *Bus) Heal() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.partitions = make(map[string]map[string]int)
+}
+
+// AdvanceTime moves the virtual clock forward by ticks. The clock
+// otherwise advances only when Drain pops a message bearing a later
+// delivery time; scheduled fault windows (LinkRule.DropFrom/DropUntil)
+// are evaluated against it at send time.
+func (b *Bus) AdvanceTime(ticks uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.now += ticks
+}
+
+// Now returns the current virtual time in ticks. It advances only when
+// Drain delivers a message bearing a later timestamp.
+func (b *Bus) Now() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.now
+}
+
+// ruleFor resolves the effective rule for one directed link. Caller holds
+// b.mu.
+func (b *Bus) ruleFor(from, to string) LinkRule {
+	if r, ok := b.linkRules[[2]string{from, to}]; ok {
+		return r
+	}
+	if r, ok := b.peerRules[to]; ok {
+		return r
+	}
+	if r, ok := b.peerRules[from]; ok {
+		return r
+	}
+	return b.defRule
+}
+
+// partitioned reports whether any installed partition separates from and
+// to. Caller holds b.mu. (Map iteration order is irrelevant: the result is
+// a pure OR and no RNG is consumed.)
+func (b *Bus) partitioned(from, to string) bool {
+	for _, groups := range b.partitions {
+		gf, okf := groups[from]
+		gt, okt := groups[to]
+		if okf && okt && gf != gt {
+			return true
+		}
+	}
+	return false
+}
+
+// Drain delivers queued messages in virtual-time order (including ones
+// enqueued by handlers during the drain) until the queue is empty,
+// advancing the virtual clock to each message's delivery time. It returns
+// the number of messages delivered.
 func (b *Bus) Drain() int {
 	n := 0
 	for {
@@ -85,23 +278,22 @@ func (b *Bus) Drain() int {
 			b.mu.Unlock()
 			return n
 		}
-		m := b.queue[0]
-		b.queue = b.queue[1:]
+		m := heap.Pop(&b.queue).(busMsg)
+		if m.at > b.now {
+			b.now = m.at
+		}
 		ep := b.peers[m.to]
-		drop := false
-		if b.DropRate > 0 {
-			b.dropSeq++
-			// Deterministic drop pattern: every k-th message where
-			// k = 1/DropRate.
-			if b.DropRate >= 1 || b.dropSeq%uint64(1/b.DropRate+0.5) == 0 {
-				drop = true
-			}
+		if ep == nil || ep.handler == nil {
+			// The destination detached (crashed) with the message in
+			// flight: the message is lost, observably.
+			b.Dropped++
+			b.mu.Unlock()
+			continue
 		}
 		b.Delivered++
+		h := ep.handler
 		b.mu.Unlock()
-		if ep != nil && ep.handler != nil && !drop {
-			ep.handler(m.from, m.payload)
-		}
+		h(m.from, m.payload)
 		n++
 	}
 }
@@ -125,9 +317,42 @@ func (e *busEndpoint) Send(to string, payload []byte) error {
 	if _, ok := b.peers[to]; !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownPeer, to)
 	}
+	// Fault decisions happen at send time, in send order, so a fixed
+	// message sequence consumes the RNG identically across runs.
+	drop := false
+	if b.DropRate > 0 {
+		b.dropSeq++
+		// Deterministic drop pattern: every k-th message where
+		// k = 1/DropRate.
+		if b.DropRate >= 1 || b.dropSeq%uint64(1/b.DropRate+0.5) == 0 {
+			drop = true
+		}
+	}
+	rule := b.ruleFor(e.addr, to)
+	if !drop {
+		switch {
+		case b.partitioned(e.addr, to):
+			drop = true
+		case rule.Down:
+			drop = true
+		case rule.DropUntil > 0 && b.now >= rule.DropFrom && b.now < rule.DropUntil:
+			drop = true
+		case rule.Drop > 0 && b.rng.Float64() < rule.Drop:
+			drop = true
+		}
+	}
+	if drop {
+		b.Dropped++
+		return nil
+	}
+	lat := rule.MinLatency
+	if rule.MaxLatency > rule.MinLatency {
+		lat += uint64(b.rng.Int63n(int64(rule.MaxLatency - rule.MinLatency + 1)))
+	}
 	cp := make([]byte, len(payload))
 	copy(cp, payload)
-	b.queue = append(b.queue, busMsg{from: e.addr, to: to, payload: cp})
+	b.seq++
+	heap.Push(&b.queue, busMsg{at: b.now + lat, seq: b.seq, from: e.addr, to: to, payload: cp})
 	return nil
 }
 

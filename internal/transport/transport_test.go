@@ -95,6 +95,13 @@ func TestBusDropRate(t *testing.T) {
 	if delivered != 75 {
 		t.Fatalf("delivered %d with 25%% drop", delivered)
 	}
+	// Drops are observable, not inferred from silence.
+	if bus.Dropped != 25 {
+		t.Fatalf("Dropped=%d, want 25", bus.Dropped)
+	}
+	if bus.Delivered != 75 {
+		t.Fatalf("Delivered=%d, want 75", bus.Delivered)
+	}
 }
 
 func TestBusPayloadIsolation(t *testing.T) {

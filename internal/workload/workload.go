@@ -28,6 +28,7 @@ package workload
 import (
 	"math"
 	"math/rand"
+	"sort"
 
 	"voronet/internal/geom"
 )
@@ -182,6 +183,61 @@ func (g *Grid) Next() geom.Point {
 
 // Name implements Source.
 func (g *Grid) Name() string { return "grid" }
+
+// ZipfKeys yields keys drawn from a fixed set of K distinct uniform points
+// with Zipf(α) popularity: the i-th most popular key is drawn with
+// probability ∝ 1/i^α. Unlike PowerLaw — whose in-cell jitter makes every
+// draw a distinct point — ZipfKeys repeats the same points, which is the
+// hot-key access pattern store stress tests need (a handful of keys absorb
+// most of the traffic and hammer one owner's region).
+type ZipfKeys struct {
+	Alpha float64
+	K     int
+	Rand  *rand.Rand
+
+	keys []geom.Point
+	cdf  []float64
+}
+
+// NewZipfKeys returns a hot-key source over k distinct keys with skew
+// α > 0. The key set itself is drawn uniformly from rng at construction.
+// Non-positive k and α fall back to 16 keys and α = 1.
+func NewZipfKeys(alpha float64, k int, rng *rand.Rand) *ZipfKeys {
+	if k <= 0 {
+		k = 16
+	}
+	if alpha <= 0 {
+		alpha = 1
+	}
+	z := &ZipfKeys{Alpha: alpha, K: k, Rand: rng}
+	z.keys = make([]geom.Point, k)
+	for i := range z.keys {
+		z.keys[i] = geom.Pt(rng.Float64(), rng.Float64())
+	}
+	z.cdf = make([]float64, k)
+	sum := 0.0
+	for i := 0; i < k; i++ {
+		sum += 1 / math.Pow(float64(i+1), alpha)
+		z.cdf[i] = sum
+	}
+	for i := range z.cdf {
+		z.cdf[i] /= sum
+	}
+	return z
+}
+
+// Next returns the next key; the most popular rank maps to keys[0].
+func (z *ZipfKeys) Next() geom.Point {
+	// cdf ascends to exactly 1 and Float64 draws are < 1, so the search
+	// always lands in range.
+	return z.keys[sort.SearchFloat64s(z.cdf, z.Rand.Float64())]
+}
+
+// Keys returns the underlying key set, most popular first.
+func (z *ZipfKeys) Keys() []geom.Point { return append([]geom.Point(nil), z.keys...) }
+
+// Name implements Source.
+func (z *ZipfKeys) Name() string { return "zipfkeys" }
 
 // ByName returns the named source: "uniform", "alpha1", "alpha2", "alpha5",
 // "clusters" or "grid". It returns nil for unknown names.

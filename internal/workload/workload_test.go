@@ -105,3 +105,33 @@ func TestByName(t *testing.T) {
 		t.Fatal("unknown name must return nil")
 	}
 }
+
+func TestZipfKeysHotKeyPattern(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	z := NewZipfKeys(1.2, 16, rng)
+	keys := z.Keys()
+	if len(keys) != 16 {
+		t.Fatalf("key set size %d", len(keys))
+	}
+	counts := map[int]int{}
+	index := map[[2]float64]int{}
+	for i, k := range keys {
+		index[[2]float64{k.X, k.Y}] = i
+	}
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		k := z.Next()
+		idx, ok := index[[2]float64{k.X, k.Y}]
+		if !ok {
+			t.Fatalf("draw %v outside the fixed key set", k)
+		}
+		counts[idx]++
+	}
+	// Popularity must decrease with rank and concentrate on the head.
+	if counts[0] <= counts[8] {
+		t.Fatalf("rank 0 drawn %d times, rank 8 %d: not Zipf-skewed", counts[0], counts[8])
+	}
+	if float64(counts[0])/draws < 0.15 {
+		t.Fatalf("hottest key has only %.3f of the mass", float64(counts[0])/draws)
+	}
+}
