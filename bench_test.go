@@ -30,8 +30,10 @@ const benchN = 20000
 // BenchmarkFig5DegreeDistribution regenerates Fig 5: the out-degree
 // (|vn(o)|) histogram under the uniform and highly skewed distributions.
 func BenchmarkFig5DegreeDistribution(b *testing.B) {
+	b.ReportAllocs()
 	for _, dist := range sim.Fig5Distributions {
 		b.Run(dist, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				h, err := sim.DegreeExperiment{N: benchN, Distribution: dist, Seed: 42}.Run()
 				if err != nil {
@@ -51,8 +53,10 @@ func BenchmarkFig5DegreeDistribution(b *testing.B) {
 // the candidate set, matching the measurement the paper's curves are
 // consistent with (see EXPERIMENTS.md).
 func BenchmarkFig6RouteLength(b *testing.B) {
+	b.ReportAllocs()
 	for _, dist := range sim.Fig6Distributions {
 		b.Run(dist, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				pts, err := sim.RouteExperiment{
 					MaxN: benchN, Samples: 500, Distribution: dist,
@@ -70,6 +74,7 @@ func BenchmarkFig6RouteLength(b *testing.B) {
 // BenchmarkFig7PolylogFit regenerates Fig 7: the slope of log(H) against
 // log(log(N)), expected ≈ 2.
 func BenchmarkFig7PolylogFit(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		pts, err := sim.RouteExperiment{
 			MaxN: benchN, Checkpoint: benchN / 8, Samples: 500,
@@ -87,8 +92,10 @@ func BenchmarkFig7PolylogFit(b *testing.B) {
 // BenchmarkFig8LongLinkCount regenerates Fig 8: mean route length as a
 // function of the number of long-range links per object.
 func BenchmarkFig8LongLinkCount(b *testing.B) {
+	b.ReportAllocs()
 	for _, k := range []int{1, 2, 4, 6, 8, 10} {
 		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				pts, err := sim.RouteExperiment{
 					MaxN: benchN, Samples: 500, Distribution: "uniform",
@@ -106,11 +113,13 @@ func BenchmarkFig8LongLinkCount(b *testing.B) {
 // BenchmarkAblationNoCloseNeighbours (A1) compares routing with and
 // without cn(o) as shortcut candidates on skewed data.
 func BenchmarkAblationNoCloseNeighbours(b *testing.B) {
+	b.ReportAllocs()
 	for _, mode := range []struct {
 		name    string
 		disable bool
 	}{{"with-cn", false}, {"no-cn", true}} {
 		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				pts, err := sim.RouteExperiment{
 					MaxN: benchN / 2, Samples: 500, Distribution: "alpha5",
@@ -128,6 +137,7 @@ func BenchmarkAblationNoCloseNeighbours(b *testing.B) {
 // BenchmarkAblationNoLongLinks (A2): pure Delaunay greedy routing is
 // polynomial (Θ(√N) hops), the reason long links exist.
 func BenchmarkAblationNoLongLinks(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		pts, err := sim.RouteExperiment{
 			MaxN: benchN / 2, Samples: 300, Distribution: "uniform",
@@ -143,10 +153,12 @@ func BenchmarkAblationNoLongLinks(b *testing.B) {
 // BenchmarkAblationExponent (A3) sweeps the long-link length exponent s;
 // Kleinberg's theorem places the asymptotic optimum at s = 2.
 func BenchmarkAblationExponent(b *testing.B) {
+	b.ReportAllocs()
 	// 0.01 stands in for the area-uniform s=0 regime: the Config zero
 	// value selects the paper default s=2.
 	for _, s := range []float64{0.01, 1, 2, 3} {
 		b.Run(fmt.Sprintf("s=%g", s), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				pts, err := sim.RouteExperiment{
 					MaxN: benchN / 2, Samples: 500, Distribution: "uniform",
@@ -164,6 +176,7 @@ func BenchmarkAblationExponent(b *testing.B) {
 // BenchmarkKleinbergBaseline (A4) routes on Kleinberg's grid of comparable
 // size, the model VoroNet generalises (§2.1).
 func BenchmarkKleinbergBaseline(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(29))
 	side := 100 // 10 000 nodes
 	g := kleinberg.New(side, 1, 2, rng)
@@ -182,6 +195,7 @@ func BenchmarkKleinbergBaseline(b *testing.B) {
 // BenchmarkInsert measures raw object insertion (tessellation update, cn
 // index, long-link resolution).
 func BenchmarkInsert(b *testing.B) {
+	b.ReportAllocs()
 	ov := voronet.New(voronet.Config{NMax: 1 << 20, Seed: 31})
 	rng := rand.New(rand.NewSource(31))
 	src := &workload.Uniform{Rand: rng}
@@ -196,6 +210,7 @@ func BenchmarkInsert(b *testing.B) {
 // BenchmarkJoin measures the full protocol join (Algorithm 1: routing,
 // fictive objects, long-link search).
 func BenchmarkJoin(b *testing.B) {
+	b.ReportAllocs()
 	ov := voronet.New(voronet.Config{NMax: 1 << 20, Seed: 37})
 	rng := rand.New(rand.NewSource(37))
 	src := &workload.Uniform{Rand: rng}
@@ -217,6 +232,7 @@ func BenchmarkJoin(b *testing.B) {
 
 // BenchmarkRouteToObject measures one greedy route on a 20k overlay.
 func BenchmarkRouteToObject(b *testing.B) {
+	b.ReportAllocs()
 	ov := voronet.New(voronet.Config{NMax: benchN, Seed: 41})
 	rng := rand.New(rand.NewSource(41))
 	src := &workload.Uniform{Rand: rng}
@@ -237,6 +253,7 @@ func BenchmarkRouteToObject(b *testing.B) {
 // simulator mirror: Algorithm 4 routing to the key's region owner plus
 // storage and replication to the owner's neighbourhood.
 func BenchmarkStorePut(b *testing.B) {
+	b.ReportAllocs()
 	ov := voronet.New(voronet.Config{NMax: benchN, Seed: 47})
 	rng := rand.New(rand.NewSource(47))
 	src := &workload.Uniform{Rand: rng}
@@ -256,6 +273,7 @@ func BenchmarkStorePut(b *testing.B) {
 // BenchmarkStoreGet measures an object-store GET end to end on a mirror
 // pre-loaded with keys.
 func BenchmarkStoreGet(b *testing.B) {
+	b.ReportAllocs()
 	ov := voronet.New(voronet.Config{NMax: benchN, Seed: 53})
 	rng := rand.New(rand.NewSource(53))
 	src := &workload.Uniform{Rand: rng}
@@ -282,6 +300,7 @@ func BenchmarkStoreGet(b *testing.B) {
 // BenchmarkHandleQuery measures Algorithm 4 end to end (routing plus the
 // fictive insert/remove dance).
 func BenchmarkHandleQuery(b *testing.B) {
+	b.ReportAllocs()
 	ov := voronet.New(voronet.Config{NMax: benchN, Seed: 43})
 	rng := rand.New(rand.NewSource(43))
 	src := &workload.Uniform{Rand: rng}

@@ -28,6 +28,9 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"runtime"
+	"sort"
+	"sync"
 	"time"
 
 	"voronet"
@@ -39,21 +42,26 @@ import (
 )
 
 var (
-	fig        = flag.String("fig", "all", "figure to regenerate: 5, 6, 7, 8 or all")
-	n          = flag.Int("n", 300000, "overlay size")
-	checkpoint = flag.Int("checkpoint", 10000, "growth step between measurements (figs 6-8)")
-	samples    = flag.Int("samples", 2000, "route samples per checkpoint")
-	kmax       = flag.Int("kmax", 10, "maximum long-link count (fig 8)")
-	seed       = flag.Int64("seed", 20070326, "base RNG seed")
-	useCN      = flag.Bool("cn", false, "include close neighbours as routing shortcuts")
-	ablate     = flag.Bool("ablate", false, "run the ablation studies (A1-A4)")
-	maint      = flag.Bool("maintenance", false, "measure per-operation management costs across sizes")
-	storeBench = flag.Bool("store", false, "measure object-store Put/Get throughput, one JSON line on stdout")
-	storeOps   = flag.Int("store-ops", 20000, "operations per store phase (-store)")
-	storeRep   = flag.Int("store-rep", 0, "store replication factor R (-store; 0 = default)")
-	chaosMode  = flag.Bool("chaos", false, "run the chaos scenario battery, one JSON line per scenario on stdout")
-	chaosName  = flag.String("scenario", "", "run only the named chaos scenario (-chaos)")
-	chaosSeed  = flag.Int64("chaos-seed", 0, "offset added to every scenario seed (-chaos)")
+	fig          = flag.String("fig", "all", "figure to regenerate: 5, 6, 7, 8 or all")
+	n            = flag.Int("n", 300000, "overlay size")
+	checkpoint   = flag.Int("checkpoint", 10000, "growth step between measurements (figs 6-8)")
+	samples      = flag.Int("samples", 2000, "route samples per checkpoint")
+	kmax         = flag.Int("kmax", 10, "maximum long-link count (fig 8)")
+	seed         = flag.Int64("seed", 20070326, "base RNG seed")
+	useCN        = flag.Bool("cn", false, "include close neighbours as routing shortcuts")
+	ablate       = flag.Bool("ablate", false, "run the ablation studies (A1-A4)")
+	maint        = flag.Bool("maintenance", false, "measure per-operation management costs across sizes")
+	storeBench   = flag.Bool("store", false, "measure object-store Put/Get throughput, one JSON line on stdout")
+	storeOps     = flag.Int("store-ops", 20000, "operations per store phase (-store)")
+	storeRep     = flag.Int("store-rep", 0, "store replication factor R (-store; 0 = default)")
+	workers      = flag.Int("workers", 1, "concurrent store workers (-store)")
+	storeGetFrac = flag.Float64("store-get-frac", 0.5, "GET fraction of the mixed phase (-store)")
+	storeZipf    = flag.Float64("store-zipf", 0, "key skew: 0 = distinct uniform keys, >0 = Zipf(α) popularity over -store-keys hot keys (-store)")
+	storeKeys    = flag.Int("store-keys", 1024, "distinct keys under -store-zipf")
+	storeFictive = flag.Bool("store-fictive", false, "resolve owners via the paper's fictive insert/remove dance (serial paper-fidelity mode)")
+	chaosMode    = flag.Bool("chaos", false, "run the chaos scenario battery, one JSON line per scenario on stdout")
+	chaosName    = flag.String("scenario", "", "run only the named chaos scenario (-chaos)")
+	chaosSeed    = flag.Int64("chaos-seed", 0, "offset added to every scenario seed (-chaos)")
 )
 
 func main() {
@@ -249,15 +257,113 @@ func runAblations() {
 	verdict("A4", m > 1, "the grid baseline VoroNet generalises routes in O(log^2 n)")
 }
 
+// storePhaseStats summarises one benchmark phase: throughput, mean hops
+// and client-observed latency percentiles.
+type storePhaseStats struct {
+	opsPerSec float64
+	meanHops  float64
+	p50us     float64
+	p95us     float64
+	p99us     float64
+}
+
+// benchWorkers resolves the -workers flag: like Store.Do and
+// MeasureRoutes, 0 (or negative) selects GOMAXPROCS.
+func benchWorkers() int {
+	if *workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return *workers
+}
+
+// runStorePhase executes ops across the configured workers, timing each
+// operation. Each worker routes from its own origin object through its own
+// pooled Router (the Store handles per-goroutine state internally).
+func runStorePhase(st *voronet.Store, origins []voronet.ObjectID, ops []voronet.StoreOp) storePhaseStats {
+	if len(ops) == 0 {
+		return storePhaseStats{}
+	}
+	lat := make([]time.Duration, len(ops))
+	hops := make([]int, len(ops))
+	w := benchWorkers()
+	if w > len(ops) {
+		w = len(ops)
+	}
+	chunk := (len(ops) + w - 1) / w
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < w; i++ {
+		lo, hi := i*chunk, (i+1)*chunk
+		if hi > len(ops) {
+			hi = len(ops)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(worker, lo, hi int) {
+			defer wg.Done()
+			from := origins[worker%len(origins)]
+			for j := lo; j < hi; j++ {
+				op := ops[j]
+				t0 := time.Now()
+				var h int
+				var err error
+				switch op.Kind {
+				case voronet.OpPut:
+					_, h, err = st.Put(from, op.Key, op.Value)
+				case voronet.OpGet:
+					_, h, err = st.Get(from, op.Key)
+				case voronet.OpDelete:
+					h, err = st.Delete(from, op.Key)
+				}
+				lat[j] = time.Since(t0)
+				hops[j] = h
+				if err != nil && !errors.Is(err, voronet.ErrKeyNotFound) {
+					fatal(err)
+				}
+			}
+		}(i, lo, hi)
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+
+	totalHops := 0
+	for _, h := range hops {
+		totalHops += h
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(q float64) float64 {
+		i := int(q * float64(len(lat)-1))
+		return float64(lat[i].Nanoseconds()) / 1e3
+	}
+	return storePhaseStats{
+		opsPerSec: float64(len(ops)) / wall,
+		meanHops:  float64(totalHops) / float64(len(ops)),
+		p50us:     pct(0.50),
+		p95us:     pct(0.95),
+		p99us:     pct(0.99),
+	}
+}
+
 // runStoreBench measures object-store Put/Get throughput on the simulator
 // mirror and prints one JSON line, machine-readable so successive PRs can
 // track a BENCH_store.json trajectory:
 //
 //	voronet-bench -store -n 50000 -store-ops 20000 >> BENCH_store.json
+//	voronet-bench -store -n 50000 -workers 8 -store-zipf 1.1 >> BENCH_store.json
+//
+// Three phases run: a pure PUT load, a pure GET load over the same keys,
+// and a mixed phase at -store-get-frac. Keys are distinct uniform points
+// by default; -store-zipf draws them with Zipf popularity from a fixed hot
+// set, the classic cache-hostile skew. -store-fictive switches owner
+// resolution to the paper's fictive insert/remove dance (Algorithm 4
+// literally), which is the serial paper-fidelity cost model the
+// pre-concurrency baselines in BENCH_store.json were measured under.
 func runStoreBench() {
 	rng := rand.New(rand.NewSource(*seed))
 	src := workload.ByName("uniform", rng)
-	ov := voronet.New(voronet.Config{NMax: *n, Seed: *seed + 1})
+	ov := voronet.New(voronet.Config{NMax: *n, Seed: *seed + 1, FictiveQueries: *storeFictive})
 	buildStart := time.Now()
 	for ov.Len() < *n {
 		if _, err := ov.Insert(src.Next()); err != nil && !errors.Is(err, voronet.ErrDuplicate) {
@@ -267,49 +373,79 @@ func runStoreBench() {
 	buildSecs := time.Since(buildStart).Seconds()
 
 	st := voronet.NewStore(ov, *storeRep)
-	from, err := ov.RandomObject(rng)
-	if err != nil {
-		fatal(err)
+	origins := make([]voronet.ObjectID, benchWorkers())
+	for i := range origins {
+		id, err := ov.RandomObject(rng)
+		if err != nil {
+			fatal(err)
+		}
+		origins[i] = id
 	}
 	payload := []byte("voronet-store-benchmark-payload-0123456789")
 
-	keys := make([]voronet.Point, *storeOps)
-	putHops := 0
-	putStart := time.Now()
-	for i := range keys {
-		keys[i] = src.Next()
-		_, hops, err := st.Put(from, keys[i], payload)
-		if err != nil {
-			fatal(err)
-		}
-		putHops += hops
+	// The key stream: distinct uniform points, or Zipf-popular draws from
+	// a fixed hot set. Pre-generated so the timed loops measure the store,
+	// not the RNG, and so worker splits are reproducible.
+	var keySource func() voronet.Point
+	if *storeZipf > 0 {
+		z := workload.NewZipfKeys(*storeZipf, *storeKeys, rng)
+		keySource = z.Next
+	} else {
+		keySource = src.Next
 	}
-	putSecs := time.Since(putStart).Seconds()
+	putOps := make([]voronet.StoreOp, *storeOps)
+	for i := range putOps {
+		putOps[i] = voronet.StoreOp{Kind: voronet.OpPut, Key: keySource(), Value: payload}
+	}
+	getOps := make([]voronet.StoreOp, *storeOps)
+	for i := range getOps {
+		// Uniform draws re-read the written keys; Zipf draws the hot set.
+		if *storeZipf > 0 {
+			getOps[i] = voronet.StoreOp{Kind: voronet.OpGet, Key: keySource()}
+		} else {
+			getOps[i] = voronet.StoreOp{Kind: voronet.OpGet, Key: putOps[i].Key}
+		}
+	}
+	mixedOps := make([]voronet.StoreOp, *storeOps)
+	for i := range mixedOps {
+		if rng.Float64() < *storeGetFrac {
+			mixedOps[i] = voronet.StoreOp{Kind: voronet.OpGet, Key: putOps[rng.Intn(len(putOps))].Key}
+		} else {
+			mixedOps[i] = voronet.StoreOp{Kind: voronet.OpPut, Key: keySource(), Value: payload}
+		}
+	}
 
-	getHops := 0
-	getStart := time.Now()
-	for _, k := range keys {
-		_, hops, err := st.Get(from, k)
-		if err != nil {
-			fatal(err)
-		}
-		getHops += hops
-	}
-	getSecs := time.Since(getStart).Seconds()
+	put := runStorePhase(st, origins, putOps)
+	get := runStorePhase(st, origins, getOps)
+	mixed := runStorePhase(st, origins, mixedOps)
 
 	line := map[string]any{
-		"bench":           "store",
-		"n":               ov.Len(),
-		"replication":     st.Replication(),
-		"ops":             *storeOps,
-		"value_bytes":     len(payload),
-		"seed":            *seed,
-		"build_secs":      round3(buildSecs),
-		"put_ops_per_sec": round3(float64(*storeOps) / putSecs),
-		"put_mean_hops":   round3(float64(putHops) / float64(*storeOps)),
-		"get_ops_per_sec": round3(float64(*storeOps) / getSecs),
-		"get_mean_hops":   round3(float64(getHops) / float64(*storeOps)),
-		"unix_millis":     time.Now().UnixMilli(),
+		"bench":             "store",
+		"n":                 ov.Len(),
+		"replication":       st.Replication(),
+		"ops":               *storeOps,
+		"value_bytes":       len(payload),
+		"seed":              *seed,
+		"workers":           benchWorkers(),
+		"zipf":              *storeZipf,
+		"get_frac":          round3(*storeGetFrac),
+		"fictive":           *storeFictive,
+		"build_secs":        round3(buildSecs),
+		"put_ops_per_sec":   round3(put.opsPerSec),
+		"put_mean_hops":     round3(put.meanHops),
+		"put_p50_us":        round3(put.p50us),
+		"put_p95_us":        round3(put.p95us),
+		"put_p99_us":        round3(put.p99us),
+		"get_ops_per_sec":   round3(get.opsPerSec),
+		"get_mean_hops":     round3(get.meanHops),
+		"get_p50_us":        round3(get.p50us),
+		"get_p95_us":        round3(get.p95us),
+		"get_p99_us":        round3(get.p99us),
+		"mixed_ops_per_sec": round3(mixed.opsPerSec),
+		"mixed_p50_us":      round3(mixed.p50us),
+		"mixed_p95_us":      round3(mixed.p95us),
+		"mixed_p99_us":      round3(mixed.p99us),
+		"unix_millis":       time.Now().UnixMilli(),
 	}
 	enc := json.NewEncoder(os.Stdout)
 	if err := enc.Encode(line); err != nil {

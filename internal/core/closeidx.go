@@ -11,9 +11,13 @@ import (
 // expected time. It is the simulator's equivalent of the per-object cn sets
 // the distributed protocol maintains via Lemma 1; the two are
 // property-tested to agree.
+//
+// Cells are keyed by both coordinates packed into one int64 so lookups hit
+// the runtime's fast 64-bit map path — the grid probe runs once per greedy
+// hop, which makes it one of the hottest loads in the overlay.
 type closeIndex struct {
 	cell  float64
-	cells map[[2]int32][]gridEntry
+	cells map[int64][]gridEntry
 }
 
 type gridEntry struct {
@@ -25,20 +29,26 @@ func newCloseIndex(cell float64) *closeIndex {
 	if cell <= 0 {
 		cell = 1e-3
 	}
-	return &closeIndex{cell: cell, cells: make(map[[2]int32][]gridEntry)}
+	return &closeIndex{cell: cell, cells: make(map[int64][]gridEntry)}
 }
 
-func (c *closeIndex) key(p geom.Point) [2]int32 {
-	return [2]int32{int32(math.Floor(p.X / c.cell)), int32(math.Floor(p.Y / c.cell))}
+func packCell(x, y int32) int64 {
+	return int64(x)<<32 | int64(uint32(y))
+}
+
+func (c *closeIndex) key(p geom.Point) (int32, int32) {
+	return int32(math.Floor(p.X / c.cell)), int32(math.Floor(p.Y / c.cell))
 }
 
 func (c *closeIndex) add(p geom.Point, id ObjectID) {
-	k := c.key(p)
+	kx, ky := c.key(p)
+	k := packCell(kx, ky)
 	c.cells[k] = append(c.cells[k], gridEntry{id: id, pos: p})
 }
 
 func (c *closeIndex) remove(p geom.Point, id ObjectID) {
-	k := c.key(p)
+	kx, ky := c.key(p)
+	k := packCell(kx, ky)
 	s := c.cells[k]
 	for i := range s {
 		if s[i].id == id {
@@ -54,21 +64,23 @@ func (c *closeIndex) remove(p geom.Point, id ObjectID) {
 	}
 }
 
-// within appends to buf the IDs of all objects at distance <= r from p,
-// excluding exclude. The overlay always queries with r = dmin = the cell
-// width, so a 3×3 cell neighbourhood suffices.
-func (c *closeIndex) within(p geom.Point, r float64, exclude ObjectID, buf []ObjectID) []ObjectID {
+// withinEntries appends to buf the (id, position) entries of all objects
+// at distance <= r from p, excluding exclude. The overlay always queries
+// with r = dmin = the cell width, so a 3×3 cell neighbourhood suffices.
+// This is the one copy of the grid scan — it runs once per greedy hop, so
+// the other forms are projections of it rather than separate loops.
+func (c *closeIndex) withinEntries(p geom.Point, r float64, exclude ObjectID, buf []gridEntry) []gridEntry {
 	buf = buf[:0]
-	k := c.key(p)
+	kx, ky := c.key(p)
 	r2 := r * r
 	for dx := int32(-1); dx <= 1; dx++ {
 		for dy := int32(-1); dy <= 1; dy++ {
-			for _, e := range c.cells[[2]int32{k[0] + dx, k[1] + dy}] {
+			for _, e := range c.cells[packCell(kx+dx, ky+dy)] {
 				if e.id == exclude {
 					continue
 				}
 				if geom.Dist2(p, e.pos) <= r2 {
-					buf = append(buf, e.id)
+					buf = append(buf, e)
 				}
 			}
 		}
@@ -76,19 +88,21 @@ func (c *closeIndex) within(p geom.Point, r float64, exclude ObjectID, buf []Obj
 	return buf
 }
 
-// count returns the number of objects within r of p, excluding exclude.
-func (c *closeIndex) count(p geom.Point, r float64, exclude ObjectID) int {
-	k := c.key(p)
-	r2 := r * r
-	n := 0
-	for dx := int32(-1); dx <= 1; dx++ {
-		for dy := int32(-1); dy <= 1; dy++ {
-			for _, e := range c.cells[[2]int32{k[0] + dx, k[1] + dy}] {
-				if e.id != exclude && geom.Dist2(p, e.pos) <= r2 {
-					n++
-				}
-			}
-		}
+// within is withinEntries projected to IDs. The entry scratch is local:
+// within serves concurrent read-locked callers (CloseNeighbors), so it
+// must not share state through the index.
+func (c *closeIndex) within(p geom.Point, r float64, exclude ObjectID, buf []ObjectID) []ObjectID {
+	entries := c.withinEntries(p, r, exclude, nil)
+	buf = buf[:0]
+	for _, e := range entries {
+		buf = append(buf, e.id)
 	}
-	return n
+	return buf
+}
+
+// count returns the number of objects within r of p, excluding exclude,
+// reusing buf for the scan (returned grown for the next call).
+func (c *closeIndex) count(p geom.Point, r float64, exclude ObjectID, buf []gridEntry) (int, []gridEntry) {
+	buf = c.withinEntries(p, r, exclude, buf)
+	return len(buf), buf
 }

@@ -26,6 +26,12 @@ import (
 // non-collinear objects (regions of a degenerate overlay are unbounded in
 // the square); smaller overlays return their exact size.
 func (o *Overlay) EstimateSize(probes int, rng *rand.Rand) (float64, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.estimateSize(probes, rng)
+}
+
+func (o *Overlay) estimateSize(probes int, rng *rand.Rand) (float64, error) {
 	if len(o.ids) == 0 {
 		return 0, ErrEmpty
 	}
@@ -75,7 +81,9 @@ func (o *Overlay) EstimateSize(probes int, rng *rand.Rand) (float64, error) {
 // became denser than denseThreshold. It reports the new NMax and how many
 // objects were refreshed (0, NMax when no adaptation was needed).
 func (o *Overlay) AdaptNMax(probes int, growFactor float64, denseThreshold int, rng *rand.Rand) (newNMax, refreshed int, err error) {
-	est, err := o.EstimateSize(probes, rng)
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	est, err := o.estimateSize(probes, rng)
 	if err != nil {
 		return o.cfg.NMax, 0, err
 	}
@@ -86,6 +94,6 @@ func (o *Overlay) AdaptNMax(probes int, growFactor float64, denseThreshold int, 
 		growFactor = 2
 	}
 	target := int(est * growFactor)
-	refreshed = o.SetNMax(target, denseThreshold)
+	refreshed = o.setNMax(target, denseThreshold)
 	return o.cfg.NMax, refreshed, nil
 }

@@ -26,12 +26,20 @@ import (
 //     from the target point", §3.3);
 //  6. the close-neighbour index agrees with Lemma 1's local computation.
 func (o *Overlay) CheckInvariants(deep bool) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	if err := o.tr.Validate(); err != nil {
 		return fmt.Errorf("triangulation: %w", err)
 	}
-	if len(o.objs) != len(o.ids) || len(o.objs) != len(o.byVertex) || len(o.objs) != len(o.idPos) {
+	liveVerts := 0
+	for _, id := range o.byVertex {
+		if id != NoObject {
+			liveVerts++
+		}
+	}
+	if len(o.objs) != len(o.ids) || len(o.objs) != liveVerts || len(o.objs) != len(o.idPos) {
 		return fmt.Errorf("bookkeeping sizes diverge: objs=%d ids=%d byVertex=%d idPos=%d",
-			len(o.objs), len(o.ids), len(o.byVertex), len(o.idPos))
+			len(o.objs), len(o.ids), liveVerts, len(o.idPos))
 	}
 	if o.tr.NumSites() != len(o.objs) {
 		return fmt.Errorf("triangulation has %d sites for %d objects", o.tr.NumSites(), len(o.objs))
@@ -132,6 +140,12 @@ func (o *Overlay) equidistantOwners(tgt geom.Point, a, b ObjectID) bool {
 // either one of its Voronoi neighbours or a close neighbour of one of them.
 // The simulator's grid index must agree exactly; tests enforce this.
 func (o *Overlay) CloseNeighborsLemma1(id ObjectID) ([]ObjectID, error) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.closeNeighborsLemma1(id)
+}
+
+func (o *Overlay) closeNeighborsLemma1(id ObjectID) ([]ObjectID, error) {
 	obj := o.objs[id]
 	if obj == nil {
 		return nil, ErrNotFound
@@ -163,11 +177,11 @@ func (o *Overlay) CloseNeighborsLemma1(id ObjectID) ([]ObjectID, error) {
 }
 
 func (o *Overlay) checkLemma1(id ObjectID) error {
-	viaLemma, err := o.CloseNeighborsLemma1(id)
+	viaLemma, err := o.closeNeighborsLemma1(id)
 	if err != nil {
 		return err
 	}
-	direct, err := o.CloseNeighbors(id, nil)
+	direct, err := o.closeNeighbors(id, nil)
 	if err != nil {
 		return err
 	}

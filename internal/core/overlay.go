@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"voronet/internal/delaunay"
 	"voronet/internal/geom"
@@ -81,6 +82,19 @@ type Config struct {
 	// maintenance without measurably changing routing. Off by default for
 	// paper fidelity; see EXPERIMENTS.md ("maintenance costs").
 	InteriorTargets bool
+	// FictiveQueries makes HandleQuery resolve the owner of the query
+	// point the way Algorithm 4 literally does: insert a fictive object at
+	// DistanceToRegion(target) and one at the target, read off the nearest
+	// Voronoi neighbour, and remove both again — two real Delaunay
+	// insert/remove pairs per query, accounted in Counters.FictiveInserts.
+	// This is the paper-fidelity cost model. Off by default: queries then
+	// resolve the owner with a read-only nearest-site walk from the
+	// stopping object, which mutates nothing (the owner named is the same;
+	// see TestOwnerResolutionEquivalence) and is what lets reads run
+	// concurrently. Joins always use the fictive protocol — they mutate
+	// the tessellation anyway and the paper's join cost accounting
+	// (Algorithm 1 + 2) depends on it.
+	FictiveQueries bool
 }
 
 // DefaultDMin returns the paper's close-neighbour radius for a given NMax:
@@ -134,7 +148,27 @@ type Counters struct {
 }
 
 // Overlay is a VoroNet overlay.
+//
+// Concurrency: the overlay follows a single-writer / many-readers
+// discipline guarded by an internal RWMutex. Mutating operations (Insert,
+// Join, Remove, SetNMax) and every operation that touches the shared
+// counters or scratch buffers — RouteToObject, RouteToPoint, HandleQuery,
+// RangeQuery, RadiusQuery, GreedyNeighbor, and the scratch-backed
+// accessors VoronoiNeighbors, Cell and DistanceToRegion — take the write
+// lock and therefore serialise. The read lock covers the Router engine
+// (and the Store fast path built on it) plus the scratch-free accessors
+// (Owner, Position, CloseNeighbors, Degree, Len, ...), so any number of
+// goroutines can route, resolve owners and query concurrently through
+// per-goroutine Routers, including while a single writer joins and
+// leaves objects. To read Voronoi neighbourhoods or run queries from
+// many goroutines, use Router — not the serially-accounted Overlay
+// methods of the same name.
 type Overlay struct {
+	// mu is the read/write gate described above. Internal code never
+	// locks; every exported entry point acquires exactly one lock level
+	// and delegates to unexported lockless implementations.
+	mu sync.RWMutex
+
 	cfg  Config
 	dmin float64
 	rng  *rand.Rand
@@ -142,8 +176,11 @@ type Overlay struct {
 	tr  *delaunay.Triangulation
 	vor *voronoi.Diagram
 
-	objs     map[ObjectID]*Object
-	byVertex map[delaunay.VertexID]ObjectID
+	objs map[ObjectID]*Object
+	// byVertex maps a live triangulation vertex to its object. A dense
+	// slice, not a map: vertex slots are freelist-reused so it stays
+	// compact, and the lookup sits on every hop of every route.
+	byVertex []ObjectID
 	ids      []ObjectID       // live IDs, for O(1) random sampling
 	idPos    map[ObjectID]int // position of each ID in ids
 	nextID   ObjectID
@@ -152,8 +189,27 @@ type Overlay struct {
 
 	counters Counters
 
-	nbuf []delaunay.VertexID // scratch
-	cbuf []ObjectID          // scratch
+	nbuf []delaunay.VertexID // scratch (write-locked paths only)
+	cbuf []ObjectID          // scratch (write-locked paths only)
+	rt   routeState          // routing scratch (write-locked paths only)
+	qsc  queryScratch        // flood scratch (write-locked paths only)
+}
+
+// setVertexObject records v → id, growing the dense table as the
+// triangulation allocates new vertex slots.
+func (o *Overlay) setVertexObject(v delaunay.VertexID, id ObjectID) {
+	for int(v) >= len(o.byVertex) {
+		o.byVertex = append(o.byVertex, NoObject)
+	}
+	o.byVertex[v] = id
+}
+
+// vertexObject is the bounds-checked read of the vertex→object table.
+func (o *Overlay) vertexObject(v delaunay.VertexID) ObjectID {
+	if v < 0 || int(v) >= len(o.byVertex) {
+		return NoObject
+	}
+	return o.byVertex[v]
 }
 
 // New creates an empty overlay. It panics if cfg.NMax <= 0.
@@ -173,39 +229,66 @@ func New(cfg Config) *Overlay {
 	}
 	tr := delaunay.New()
 	o := &Overlay{
-		cfg:      cfg,
-		dmin:     dmin,
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		tr:       tr,
-		vor:      voronoi.New(tr),
-		objs:     make(map[ObjectID]*Object),
-		byVertex: make(map[delaunay.VertexID]ObjectID),
-		idPos:    make(map[ObjectID]int),
-		grid:     newCloseIndex(dmin),
+		cfg:   cfg,
+		dmin:  dmin,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		tr:    tr,
+		vor:   voronoi.New(tr),
+		objs:  make(map[ObjectID]*Object),
+		idPos: make(map[ObjectID]int),
+		grid:  newCloseIndex(dmin),
 	}
+	o.rt = routeState{vor: o.vor, steps: &o.counters.GreedySteps}
 	return o
 }
 
 // Len returns the number of objects in the overlay.
-func (o *Overlay) Len() int { return len(o.ids) }
+func (o *Overlay) Len() int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return len(o.ids)
+}
 
 // DMin returns the close-neighbour radius in force.
-func (o *Overlay) DMin() float64 { return o.dmin }
+func (o *Overlay) DMin() float64 {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.dmin
+}
 
 // Config returns the overlay's configuration.
-func (o *Overlay) Config() Config { return o.cfg }
+func (o *Overlay) Config() Config {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.cfg
+}
 
 // Counters returns a snapshot of the protocol cost counters.
-func (o *Overlay) Counters() Counters { return o.counters }
+func (o *Overlay) Counters() Counters {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.counters
+}
 
 // ResetCounters zeroes the protocol cost counters.
-func (o *Overlay) ResetCounters() { o.counters = Counters{} }
+func (o *Overlay) ResetCounters() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.counters = Counters{}
+}
 
-// Object returns the object record for id, or nil.
-func (o *Overlay) Object(id ObjectID) *Object { return o.objs[id] }
+// Object returns the object record for id, or nil. The record's protocol
+// state (long links, BLRn) is only stable while no writer runs.
+func (o *Overlay) Object(id ObjectID) *Object {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.objs[id]
+}
 
 // Position returns the position of object id.
 func (o *Overlay) Position(id ObjectID) (geom.Point, error) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
 	obj := o.objs[id]
 	if obj == nil {
 		return geom.Point{}, ErrNotFound
@@ -216,16 +299,27 @@ func (o *Overlay) Position(id ObjectID) (geom.Point, error) {
 // RandomObject returns a uniformly random live object ID using the
 // caller's RNG (so experiments control their own determinism).
 func (o *Overlay) RandomObject(rng *rand.Rand) (ObjectID, error) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
 	if len(o.ids) == 0 {
 		return NoObject, ErrEmpty
 	}
 	return o.ids[rng.Intn(len(o.ids))], nil
 }
 
-// ForEachObject calls fn for every object until it returns false.
+// ForEachObject calls fn for every object until it returns false. The
+// object list is snapshotted up front and fn runs without any lock held,
+// so fn may freely call other overlay methods; objects removed by a
+// concurrent writer mid-iteration are still visited with their last state.
 func (o *Overlay) ForEachObject(fn func(*Object) bool) {
-	for _, id := range o.ids {
-		if !fn(o.objs[id]) {
+	o.mu.RLock()
+	objs := make([]*Object, len(o.ids))
+	for i, id := range o.ids {
+		objs[i] = o.objs[id]
+	}
+	o.mu.RUnlock()
+	for _, obj := range objs {
+		if !fn(obj) {
 			return
 		}
 	}
@@ -234,6 +328,8 @@ func (o *Overlay) ForEachObject(fn func(*Object) bool) {
 // VoronoiNeighbors appends the Voronoi-neighbour view vn(o) of object id to
 // buf. This is the set whose size Fig 5 histograms.
 func (o *Overlay) VoronoiNeighbors(id ObjectID, buf []ObjectID) ([]ObjectID, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	obj := o.objs[id]
 	if obj == nil {
 		return buf[:0], ErrNotFound
@@ -249,6 +345,12 @@ func (o *Overlay) VoronoiNeighbors(id ObjectID, buf []ObjectID) ([]ObjectID, err
 // CloseNeighbors appends the close-neighbour view cn(o) — objects within
 // dmin, excluding id itself — to buf.
 func (o *Overlay) CloseNeighbors(id ObjectID, buf []ObjectID) ([]ObjectID, error) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.closeNeighbors(id, buf)
+}
+
+func (o *Overlay) closeNeighbors(id ObjectID, buf []ObjectID) ([]ObjectID, error) {
 	obj := o.objs[id]
 	if obj == nil {
 		return buf[:0], ErrNotFound
@@ -259,6 +361,8 @@ func (o *Overlay) CloseNeighbors(id ObjectID, buf []ObjectID) ([]ObjectID, error
 // LongNeighbors returns the long-range view LRn(o): one entry per long
 // link. The returned slice aliases internal state; do not modify.
 func (o *Overlay) LongNeighbors(id ObjectID) ([]ObjectID, error) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
 	obj := o.objs[id]
 	if obj == nil {
 		return nil, ErrNotFound
@@ -268,6 +372,8 @@ func (o *Overlay) LongNeighbors(id ObjectID) ([]ObjectID, error) {
 
 // LongTargets returns the fixed long-link target points LRt(o).
 func (o *Overlay) LongTargets(id ObjectID) ([]geom.Point, error) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
 	obj := o.objs[id]
 	if obj == nil {
 		return nil, ErrNotFound
@@ -277,6 +383,8 @@ func (o *Overlay) LongTargets(id ObjectID) ([]geom.Point, error) {
 
 // BackLongRange returns the BLRn(o) view.
 func (o *Overlay) BackLongRange(id ObjectID) ([]BackRef, error) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
 	obj := o.objs[id]
 	if obj == nil {
 		return nil, ErrNotFound
@@ -289,6 +397,8 @@ func (o *Overlay) BackLongRange(id ObjectID) ([]BackRef, error) {
 // freshly allocated. Returns nil for unknown objects or degenerate
 // (dimension < 2) overlays.
 func (o *Overlay) Cell(id ObjectID) []geom.Point {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	obj := o.objs[id]
 	if obj == nil || o.tr.Dimension() < 2 {
 		return nil
@@ -299,6 +409,8 @@ func (o *Overlay) Cell(id ObjectID) []geom.Point {
 // DistanceToRegion returns the point of R(id) closest to p and its
 // distance — the paper's DistanceToRegion primitive (§4.2.3).
 func (o *Overlay) DistanceToRegion(id ObjectID, p geom.Point) (geom.Point, float64, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	obj := o.objs[id]
 	if obj == nil {
 		return geom.Point{}, 0, ErrNotFound
@@ -312,6 +424,8 @@ func (o *Overlay) DistanceToRegion(id ObjectID, p geom.Point) (geom.Point, float
 
 // Degree returns |vn(o)|.
 func (o *Overlay) Degree(id ObjectID) (int, error) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
 	obj := o.objs[id]
 	if obj == nil {
 		return 0, ErrNotFound
@@ -320,18 +434,31 @@ func (o *Overlay) Degree(id ObjectID) (int, error) {
 }
 
 // Owner returns the object whose Voronoi region contains p — the paper's
-// Obj(p) — resolved against the ground-truth tessellation. hint
-// accelerates the lookup.
+// Obj(p) — resolved against the ground-truth tessellation with a read-only
+// nearest-site walk. hint accelerates the lookup. Safe for concurrent
+// callers; see Router for an allocation-free equivalent.
 func (o *Overlay) Owner(p geom.Point, hint ObjectID) (ObjectID, error) {
-	if len(o.ids) == 0 {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	id, _ := o.owner(p, hint, nil)
+	if id == NoObject {
 		return NoObject, ErrEmpty
+	}
+	return id, nil
+}
+
+// owner resolves Obj(p) without side effects, reusing vbuf for the
+// nearest-site descent.
+func (o *Overlay) owner(p geom.Point, hint ObjectID, vbuf []delaunay.VertexID) (ObjectID, []delaunay.VertexID) {
+	if len(o.ids) == 0 {
+		return NoObject, vbuf
 	}
 	h := delaunay.NoVertex
 	if obj := o.objs[hint]; obj != nil {
 		h = obj.vert
 	}
-	v := o.tr.NearestSite(p, h)
-	return o.byVertex[v], nil
+	v, vbuf := o.tr.NearestSiteRO(p, h, vbuf)
+	return o.byVertex[v], vbuf
 }
 
 // Insert adds an object at p directly against the shared substrate: the
@@ -340,6 +467,8 @@ func (o *Overlay) Owner(p geom.Point, hint ObjectID) (ObjectID, error) {
 // routing cost accounting. The figure harness uses Insert to build large
 // overlays; Join exercises and accounts the full Algorithm 1 path.
 func (o *Overlay) Insert(p geom.Point) (ObjectID, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	return o.insert(p, delaunay.NoVertex)
 }
 
@@ -378,7 +507,7 @@ func (o *Overlay) insertCore(p geom.Point, hint delaunay.VertexID, mode insertMo
 	o.nextID++
 	obj := &Object{ID: id, Pos: p, vert: v}
 	o.objs[id] = obj
-	o.byVertex[v] = id
+	o.setVertexObject(v, id)
 	o.idPos[id] = len(o.ids)
 	o.ids = append(o.ids, id)
 	o.grid.add(p, id)
@@ -427,6 +556,12 @@ func (o *Overlay) insertCore(p geom.Point, hint delaunay.VertexID, mode insertMo
 // neighbour closest to its target, which is exactly the new owner of the
 // target point.
 func (o *Overlay) Remove(id ObjectID) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.remove(id)
+}
+
+func (o *Overlay) remove(id ObjectID) error {
 	obj := o.objs[id]
 	if obj == nil {
 		return ErrNotFound
@@ -487,7 +622,7 @@ func (o *Overlay) Remove(id ObjectID) error {
 		return fmt.Errorf("voronet: remove: %w", err)
 	}
 	o.grid.remove(obj.Pos, id)
-	delete(o.byVertex, obj.vert)
+	o.byVertex[obj.vert] = NoObject
 	delete(o.objs, id)
 	pos := o.idPos[id]
 	last := len(o.ids) - 1

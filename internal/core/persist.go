@@ -35,6 +35,8 @@ type objectSnapshot struct {
 // draws *future* long-link targets from a fresh stream seeded by
 // Config.Seed. All existing links and targets are preserved exactly.
 func (o *Overlay) Save(w io.Writer) error {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
 	s := snapshot{
 		Version: snapshotVersion,
 		Config:  o.cfg,
@@ -84,7 +86,7 @@ func Load(r io.Reader) (*Overlay, error) {
 		if v == delaunay.NoVertex || !o.tr.Alive(v) {
 			return nil, fmt.Errorf("voronet: load: object %d could not be re-inserted", os.ID)
 		}
-		if _, dup := o.byVertex[v]; dup {
+		if o.vertexObject(v) != NoObject {
 			return nil, fmt.Errorf("voronet: load: duplicate position for object %d", os.ID)
 		}
 		obj := &Object{
@@ -95,7 +97,7 @@ func Load(r io.Reader) (*Overlay, error) {
 			longNbrs:    os.LongNbrs,
 		}
 		o.objs[os.ID] = obj
-		o.byVertex[v] = os.ID
+		o.setVertexObject(v, os.ID)
 		o.idPos[os.ID] = len(o.ids)
 		o.ids = append(o.ids, os.ID)
 		o.grid.add(os.Pos, os.ID)

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"voronet/internal/geom"
+	"voronet/internal/workload"
+)
+
+// TestOwnerResolutionEquivalence is the property behind the mutation-free
+// read path: for any overlay and any query point, the owner named by the
+// read-only nearest-site walk from the stopping object equals the owner
+// named by the paper's fictive insert/remove dance (Algorithm 4), modulo
+// genuine ties (a point equidistant from two objects lies on a region
+// boundary — either is a correct Obj(target)). Checked across seeds,
+// distributions and query points inside and outside the square.
+func TestOwnerResolutionEquivalence(t *testing.T) {
+	sources := []struct {
+		name string
+		mk   func(rng *rand.Rand) workload.Source
+	}{
+		{"uniform", func(rng *rand.Rand) workload.Source { return &workload.Uniform{Rand: rng} }},
+		{"alpha2", func(rng *rand.Rand) workload.Source { return workload.NewPowerLaw(2, rng) }},
+		{"alpha5", func(rng *rand.Rand) workload.Source { return workload.NewPowerLaw(5, rng) }},
+		{"clusters", func(rng *rand.Rand) workload.Source { return workload.NewClusters(3, 0.01, rng) }},
+	}
+	for _, src := range sources {
+		for seed := int64(1); seed <= 3; seed++ {
+			rng := rand.New(rand.NewSource(seed * 1000))
+			o := New(Config{NMax: 1500, Seed: seed})
+			ids := fill(t, o, src.mk(rng), 350)
+			for q := 0; q < 120; q++ {
+				from := ids[rng.Intn(len(ids))]
+				// Every third query leaves the unit square (long-link
+				// targets do too; §4.3.2).
+				p := geom.Pt(rng.Float64(), rng.Float64())
+				if q%3 == 0 {
+					p = geom.Pt(rng.Float64()*2-0.5, rng.Float64()*2-0.5)
+				}
+				checkResolutionAgreement(t, o, from, p, src.name)
+			}
+			if err := o.CheckInvariants(true); err != nil {
+				t.Fatalf("%s seed %d: %v", src.name, seed, err)
+			}
+		}
+	}
+}
+
+// TestOwnerResolutionEquivalenceDegenerate covers the overlays where the
+// tessellation has dimension < 2: a singleton, two objects, and a
+// collinear chain, where regions are halfplanes and slabs.
+func TestOwnerResolutionEquivalenceDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	layouts := [][]geom.Point{
+		{{X: 0.5, Y: 0.5}},
+		{{X: 0.25, Y: 0.5}, {X: 0.75, Y: 0.5}},
+		{{X: 0.1, Y: 0.5}, {X: 0.5, Y: 0.5}, {X: 0.9, Y: 0.5}},
+		{{X: 0.2, Y: 0.2}, {X: 0.5, Y: 0.5}, {X: 0.8, Y: 0.8}}, // diagonal chain
+	}
+	for li, pts := range layouts {
+		o := New(Config{NMax: 100, Seed: int64(li)})
+		var ids []ObjectID
+		for _, p := range pts {
+			id, err := o.Insert(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, id)
+		}
+		for q := 0; q < 60; q++ {
+			p := geom.Pt(rng.Float64()*1.6-0.3, rng.Float64()*1.6-0.3)
+			checkResolutionAgreement(t, o, ids[rng.Intn(len(ids))], p, "degenerate")
+		}
+	}
+}
+
+// checkResolutionAgreement routes from `from` towards p once, then
+// resolves the owner both ways from the same stopping object and compares.
+func checkResolutionAgreement(t *testing.T, o *Overlay, from ObjectID, p geom.Point, label string) {
+	t.Helper()
+	cur := o.objs[from]
+	if _, err := o.routeToPoint(&o.rt, &cur, p); err != nil {
+		t.Fatalf("%s: route to %v: %v", label, p, err)
+	}
+	fast := o.resolveByNearest(cur, p)
+	fict, err := o.resolveByFictive(cur, p)
+	if err != nil {
+		t.Fatalf("%s: fictive resolution at %v: %v", label, p, err)
+	}
+	if fast != fict && !o.equidistantOwners(p, fast, fict) {
+		t.Fatalf("%s: owner of %v: fast path %d (d=%g), fictive %d (d=%g)",
+			label, p, fast, geom.Dist2(o.objs[fast].Pos, p), fict, geom.Dist2(o.objs[fict].Pos, p))
+	}
+}
+
+// TestFictiveQueriesFlag pins the public semantics of the fidelity flag:
+// with FictiveQueries set HandleQuery accounts fictive insertions exactly
+// as Algorithm 4 specifies; without it queries leave the fictive counter
+// untouched — and both name the same owners on the same overlay content.
+func TestFictiveQueriesFlag(t *testing.T) {
+	build := func(fictive bool) (*Overlay, []ObjectID) {
+		o := New(Config{NMax: 1000, Seed: 9, FictiveQueries: fictive})
+		rng := rand.New(rand.NewSource(10))
+		ids := fill(t, o, &workload.Uniform{Rand: rng}, 250)
+		return o, ids
+	}
+	fast, idsFast := build(false)
+	fict, idsFict := build(true)
+	if len(idsFast) != len(idsFict) {
+		t.Fatalf("overlays diverged: %d vs %d objects", len(idsFast), len(idsFict))
+	}
+
+	fast.ResetCounters()
+	fict.ResetCounters()
+	rng := rand.New(rand.NewSource(11))
+	const queries = 80
+	for q := 0; q < queries; q++ {
+		p := geom.Pt(rng.Float64(), rng.Float64())
+		from := idsFast[rng.Intn(len(idsFast))]
+		rFast, err := fast.HandleQuery(from, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rFict, err := fict.HandleQuery(from, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rFast.Owner != rFict.Owner && !fast.equidistantOwners(p, rFast.Owner, rFict.Owner) {
+			t.Fatalf("query %v: fast owner %d, fictive owner %d", p, rFast.Owner, rFict.Owner)
+		}
+	}
+	cFast, cFict := fast.Counters(), fict.Counters()
+	if cFast.Queries != queries || cFict.Queries != queries {
+		t.Fatalf("query counts: fast %d, fictive %d", cFast.Queries, cFict.Queries)
+	}
+	if cFast.FictiveInserts != 0 {
+		t.Fatalf("fast path performed %d fictive inserts", cFast.FictiveInserts)
+	}
+	if cFict.FictiveInserts == 0 {
+		t.Fatal("fidelity mode performed no fictive inserts")
+	}
+	// The dance must still leave the overlay unchanged.
+	if fict.Len() != len(idsFict) {
+		t.Fatalf("fictive queries changed the overlay: %d objects", fict.Len())
+	}
+	if err := fict.CheckInvariants(true); err != nil {
+		t.Fatal(err)
+	}
+	// Both modes reject unknown introduction objects identically.
+	if _, err := fast.HandleQuery(999999, geom.Pt(0.5, 0.5)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("fast path unknown origin: %v", err)
+	}
+	if _, err := fict.HandleQuery(999999, geom.Pt(0.5, 0.5)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("fictive path unknown origin: %v", err)
+	}
+}

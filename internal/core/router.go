@@ -1,94 +1,134 @@
 package core
 
 import (
-	"fmt"
-	"math"
 	"runtime"
 	"sync"
 
 	"voronet/internal/delaunay"
 	"voronet/internal/geom"
+	"voronet/internal/voronoi"
 )
 
-// Router performs greedy routing over a *frozen* overlay without mutating
-// any shared state: it owns its scratch buffers and its own step counter,
-// so any number of Routers can run concurrently on different goroutines as
-// long as no Insert/Join/Remove runs at the same time. This is how the
-// experiment engine uses every core for the paper's route-length
-// measurements (100 000 samples per checkpoint in §5).
+// Router is the overlay's concurrent read engine: it performs greedy
+// routing, mutation-free owner resolution and query floods without
+// touching any shared overlay state — it owns its scratch buffers, its
+// Voronoi scratch view, its flood scratch and its own step counter. Every
+// exported Router method takes the overlay's read lock, so any number of
+// Routers can run concurrently on different goroutines, including while a
+// single writer joins, inserts and removes objects (the writer holds the
+// write lock and serialises against all readers).
+//
+// This is how the experiment engine uses every core for the paper's
+// route-length measurements (100 000 samples per checkpoint in §5) and how
+// the Store fast path fans Put/Get/Delete across workers.
 type Router struct {
 	o *Overlay
 	// Steps counts Greedyneighbour invocations performed by this router.
 	Steps uint64
 
+	// rt feeds the very same walk implementations the serial overlay path
+	// runs (Overlay.greedyNeighbor / routeToPoint / routeToObject), just
+	// charged to this router's private scratch and Steps counter - the two
+	// paths cannot drift apart.
+	rt   routeState
 	nbuf []delaunay.VertexID
-	cbuf []ObjectID
+	sc   queryScratch
 }
 
-// NewRouter returns a router bound to the overlay. The router is only
-// valid while the overlay is not mutated.
+// NewRouter returns a router bound to the overlay.
 func (o *Overlay) NewRouter() *Router {
-	return &Router{o: o}
-}
-
-// greedyNeighbor mirrors Overlay.greedyNeighbor using private buffers.
-func (r *Router) greedyNeighbor(obj *Object, target geom.Point) *Object {
-	r.Steps++
-	o := r.o
-	var best *Object
-	bestD := math.Inf(1)
-	consider := func(id ObjectID) {
-		if id == obj.ID || id == NoObject {
-			return
-		}
-		c := o.objs[id]
-		if d := geom.Dist2(c.Pos, target); d < bestD {
-			best, bestD = c, d
-		}
-	}
-	r.nbuf = o.tr.Neighbors(obj.vert, r.nbuf)
-	for _, v := range r.nbuf {
-		consider(o.byVertex[v])
-	}
-	if !o.cfg.DisableCloseNeighbours {
-		r.cbuf = o.grid.within(obj.Pos, o.dmin, obj.ID, r.cbuf)
-		for _, id := range r.cbuf {
-			consider(id)
-		}
-	}
-	for _, id := range obj.longNbrs {
-		consider(id)
-	}
-	return best
+	r := &Router{o: o}
+	r.rt = routeState{vor: voronoi.New(o.tr), steps: &r.Steps}
+	return r
 }
 
 // RouteToObject greedily routes from one object to another and returns the
 // hop count, exactly like Overlay.RouteToObject but safe to call from
-// multiple goroutines concurrently (on an unchanging overlay).
+// multiple goroutines concurrently.
 func (r *Router) RouteToObject(from, to ObjectID) (int, error) {
+	r.o.mu.RLock()
+	defer r.o.mu.RUnlock()
+	return r.routeToObject(from, to)
+}
+
+func (r *Router) routeToObject(from, to ObjectID) (int, error) {
+	return r.o.routeToObject(&r.rt, from, to)
+}
+
+// RouteToPoint routes towards an arbitrary point per Algorithm 5's
+// framework and resolves the owner with a read-only nearest-site walk from
+// the stopping object — the concurrent, mutation-free equivalent of
+// Overlay.RouteToPoint.
+func (r *Router) RouteToPoint(from ObjectID, target geom.Point) (RouteResult, error) {
+	r.o.mu.RLock()
+	defer r.o.mu.RUnlock()
+	return r.resolve(from, target)
+}
+
+// resolve routes from `from` towards target and names Obj(target). Caller
+// holds (at least) the overlay read lock.
+func (r *Router) resolve(from ObjectID, target geom.Point) (RouteResult, error) {
 	cur := r.o.objs[from]
-	dst := r.o.objs[to]
-	if cur == nil || dst == nil {
-		return 0, ErrNotFound
+	if cur == nil {
+		return RouteResult{}, ErrNotFound
 	}
-	target := dst.Pos
-	hops := 0
-	limit := len(r.o.ids) + 16
-	for cur.ID != to {
-		next := r.greedyNeighbor(cur, target)
-		hops++
-		if next == nil {
-			return hops, fmt.Errorf("voronet: routing stalled at %d (no neighbours)", cur.ID)
-		}
-		if geom.Dist2(next.Pos, target) >= geom.Dist2(cur.Pos, target) {
-			return hops, fmt.Errorf("voronet: greedy routing regressed at %d", cur.ID)
-		}
-		if hops > limit {
-			return hops, fmt.Errorf("voronet: routing exceeded %d hops", limit)
-		}
-		cur = next
+	hops, err := r.o.routeToPoint(&r.rt, &cur, target)
+	if err != nil {
+		return RouteResult{Hops: hops}, err
 	}
-	return hops, nil
+	var v delaunay.VertexID
+	v, r.nbuf = r.o.tr.NearestSiteRO(target, cur.vert, r.nbuf)
+	return RouteResult{Stop: cur.ID, Owner: r.o.byVertex[v], Hops: hops}, nil
+}
+
+// Owner resolves Obj(p) with a read-only nearest-site walk; hint
+// accelerates the lookup. The concurrent, allocation-free equivalent of
+// Overlay.Owner.
+func (r *Router) Owner(p geom.Point, hint ObjectID) (ObjectID, error) {
+	r.o.mu.RLock()
+	defer r.o.mu.RUnlock()
+	var id ObjectID
+	id, r.nbuf = r.o.owner(p, hint, r.nbuf)
+	if id == NoObject {
+		return NoObject, ErrEmpty
+	}
+	return id, nil
+}
+
+// VoronoiNeighbors appends vn(id) to buf using the router's private vertex
+// scratch — the concurrent equivalent of Overlay.VoronoiNeighbors.
+func (r *Router) VoronoiNeighbors(id ObjectID, buf []ObjectID) ([]ObjectID, error) {
+	r.o.mu.RLock()
+	defer r.o.mu.RUnlock()
+	return r.voronoiNeighbors(id, buf)
+}
+
+func (r *Router) voronoiNeighbors(id ObjectID, buf []ObjectID) ([]ObjectID, error) {
+	obj := r.o.objs[id]
+	if obj == nil {
+		return buf[:0], ErrNotFound
+	}
+	buf = buf[:0]
+	r.nbuf = r.o.tr.Neighbors(obj.vert, r.nbuf)
+	for _, v := range r.nbuf {
+		buf = append(buf, r.o.byVertex[v])
+	}
+	return buf, nil
+}
+
+// RangeQuery is the concurrent equivalent of Overlay.RangeQuery: the very
+// same shared implementation, fed by the router's private scratch.
+func (r *Router) RangeQuery(from ObjectID, a, b geom.Point) ([]ObjectID, QueryStats, error) {
+	r.o.mu.RLock()
+	defer r.o.mu.RUnlock()
+	return r.o.rangeQuery(&r.rt, &r.sc, from, a, b)
+}
+
+// RadiusQuery is the concurrent equivalent of Overlay.RadiusQuery.
+func (r *Router) RadiusQuery(from ObjectID, centre geom.Point, rad float64) ([]ObjectID, QueryStats, error) {
+	r.o.mu.RLock()
+	defer r.o.mu.RUnlock()
+	return r.o.radiusQuery(&r.rt, &r.sc, from, centre, rad)
 }
 
 // RoutePair is one sampled couple for MeasureRoutes.
@@ -98,7 +138,8 @@ type RoutePair struct {
 
 // MeasureRoutes routes every pair over `workers` goroutines (0 selects
 // GOMAXPROCS) and returns the hop count per pair plus the total
-// Greedyneighbour count. The overlay must not be mutated during the call.
+// Greedyneighbour count. Each worker is an independent Router, so the
+// measurement runs concurrently with other readers.
 func (o *Overlay) MeasureRoutes(pairs []RoutePair, workers int) ([]int, uint64, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)

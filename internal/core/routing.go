@@ -6,6 +6,7 @@ import (
 
 	"voronet/internal/delaunay"
 	"voronet/internal/geom"
+	"voronet/internal/voronoi"
 )
 
 // chooseLRT draws a long-link target for an object at p per Algorithm 3
@@ -44,54 +45,104 @@ func (o *Overlay) sampleLinkRadius() float64 {
 	return math.Exp(math.Log(rmin) + u*(math.Log(rmax)-math.Log(rmin)))
 }
 
+// routeState is the mutable state one routing walk consumes: neighbour
+// and grid scratch, a Voronoi scratch view for Algorithm 5's stop
+// condition, and the Greedyneighbour counter to charge. The Overlay owns
+// one (charged to the shared Counters, used under the write lock); every
+// Router owns its own, which is what makes concurrent routing safe. Both
+// paths execute the very same walk functions below, so they can never
+// drift apart.
+type routeState struct {
+	nbuf  []delaunay.VertexID
+	gbuf  []gridEntry
+	vor   *voronoi.Diagram
+	steps *uint64
+}
+
 // GreedyNeighbor returns the neighbour of id — over vn(o) ∪ cn(o) ∪ LRn(o)
 // — closest to target, the paper's Greedyneighbour primitive. It returns
 // NoObject only when the object has no neighbours (singleton overlay).
 func (o *Overlay) GreedyNeighbor(id ObjectID, target geom.Point) (ObjectID, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	obj := o.objs[id]
 	if obj == nil {
 		return NoObject, ErrNotFound
 	}
-	n := o.greedyNeighbor(obj, target)
+	n := o.greedyNeighbor(&o.rt, obj, target)
 	if n == nil {
 		return NoObject, nil
 	}
 	return n.ID, nil
 }
 
-func (o *Overlay) greedyNeighbor(obj *Object, target geom.Point) *Object {
-	o.counters.GreedySteps++
-	var best *Object
+// greedyNeighbor scans vn ∪ cn ∪ LRn considering (id, position) pairs read
+// straight from the triangulation and the grid — one object-map lookup for
+// the winner instead of one per candidate, which matters at one call per
+// routing hop.
+func (o *Overlay) greedyNeighbor(rt *routeState, obj *Object, target geom.Point) *Object {
+	*rt.steps++
+	best := NoObject
 	bestD := math.Inf(1)
-	consider := func(id ObjectID) {
-		if id == obj.ID || id == NoObject {
+	consider := func(id ObjectID, pos geom.Point) {
+		if id == obj.ID {
 			return
 		}
-		c := o.objs[id]
-		if d := geom.Dist2(c.Pos, target); d < bestD {
-			best, bestD = c, d
+		if d := geom.Dist2(pos, target); d < bestD {
+			best, bestD = id, d
 		}
 	}
-	o.nbuf = o.tr.Neighbors(obj.vert, o.nbuf)
-	for _, v := range o.nbuf {
-		consider(o.byVertex[v])
+	rt.nbuf = o.tr.Neighbors(obj.vert, rt.nbuf)
+	for _, v := range rt.nbuf {
+		consider(o.byVertex[v], o.tr.Point(v))
 	}
-	if !o.cfg.DisableCloseNeighbours {
-		o.cbuf = o.grid.within(obj.Pos, o.dmin, obj.ID, o.cbuf)
-		for _, id := range o.cbuf {
-			consider(id)
+	if !o.cfg.DisableCloseNeighbours && !cnCannotWin(obj.Pos, target, o.dmin, bestD) {
+		rt.gbuf = o.grid.withinEntries(obj.Pos, o.dmin, obj.ID, rt.gbuf)
+		for _, e := range rt.gbuf {
+			consider(e.id, e.pos)
 		}
 	}
 	for _, id := range obj.longNbrs {
-		consider(id)
+		if id != NoObject {
+			consider(id, o.objs[id].Pos)
+		}
 	}
-	return best
+	if best == NoObject {
+		return nil
+	}
+	return o.objs[best]
+}
+
+// cnCannotWin reports whether the close-neighbour scan can be skipped
+// without changing the greedy choice: every cn candidate lies within dmin
+// of the current object, so by the triangle inequality its distance to the
+// target is at least d(cur, target) − dmin. If some already-considered
+// candidate beats that bound (strictly better than any cn could ever be,
+// and ties keep the earlier candidate), probing the grid is pure cost —
+// which is the common case away from the destination, where vn progress
+// per hop dwarfs dmin.
+func cnCannotWin(cur, target geom.Point, dmin, bestD float64) bool {
+	if bestD == math.Inf(1) {
+		return false
+	}
+	margin := geom.Dist(cur, target) - dmin
+	return margin > 0 && bestD <= margin*margin
 }
 
 // RouteToObject greedily routes a message from object `from` to object
 // `to` and returns the number of hops (Greedyneighbour calls). This is the
-// measurement of Figs 6–8: mean hops between random object couples.
+// measurement of Figs 6–8: mean hops between random object couples. The
+// call serialises (it accounts into the shared counters); use Router for
+// concurrent routing.
 func (o *Overlay) RouteToObject(from, to ObjectID) (int, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.routeToObject(&o.rt, from, to)
+}
+
+// routeToObject is the object-routing loop shared by the serial path and
+// the Router.
+func (o *Overlay) routeToObject(rt *routeState, from, to ObjectID) (int, error) {
 	cur := o.objs[from]
 	dst := o.objs[to]
 	if cur == nil || dst == nil {
@@ -101,7 +152,7 @@ func (o *Overlay) RouteToObject(from, to ObjectID) (int, error) {
 	hops := 0
 	limit := len(o.ids) + 16
 	for cur.ID != to {
-		next := o.greedyNeighbor(cur, target)
+		next := o.greedyNeighbor(rt, cur, target)
 		hops++
 		if next == nil {
 			return hops, fmt.Errorf("voronet: routing stalled at %d (no neighbours)", cur.ID)
@@ -139,11 +190,13 @@ type RouteResult struct {
 // then stop; the stopping object can insert the target locally (Lemma 4).
 // The returned Owner is the object whose Voronoi region contains target.
 func (o *Overlay) RouteToPoint(from ObjectID, target geom.Point) (RouteResult, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
 	cur := o.objs[from]
 	if cur == nil {
 		return RouteResult{}, ErrNotFound
 	}
-	hops, err := o.routeToPoint(&cur, target)
+	hops, err := o.routeToPoint(&o.rt, &cur, target)
 	if err != nil {
 		return RouteResult{Hops: hops}, err
 	}
@@ -152,8 +205,8 @@ func (o *Overlay) RouteToPoint(from ObjectID, target geom.Point) (RouteResult, e
 }
 
 // routeToPoint advances *cur until Algorithm 5's stop condition holds and
-// returns the hop count.
-func (o *Overlay) routeToPoint(cur **Object, target geom.Point) (int, error) {
+// returns the hop count. Shared by the serial path and the Router via rt.
+func (o *Overlay) routeToPoint(rt *routeState, cur **Object, target geom.Point) (int, error) {
 	hops := 0
 	limit := len(o.ids) + 16
 	for {
@@ -165,7 +218,7 @@ func (o *Overlay) routeToPoint(cur **Object, target geom.Point) (int, error) {
 		if o.tr.Dimension() < 2 {
 			// Degenerate overlay (≤2 objects or collinear): regions are
 			// halfplanes/slabs; route greedily to the nearest object.
-			next := o.greedyNeighbor(c, target)
+			next := o.greedyNeighbor(rt, c, target)
 			hops++
 			if next == nil || geom.Dist2(next.Pos, target) >= geom.Dist2(c.Pos, target) {
 				return hops, nil
@@ -173,11 +226,15 @@ func (o *Overlay) routeToPoint(cur **Object, target geom.Point) (int, error) {
 			*cur = next
 			continue
 		}
-		_, dz := o.vor.DistanceToRegion(c.vert, target)
-		if dz <= dCur/3 {
-			return hops, nil
+		// Cheap one-pass lower bound first; the exact cell-based distance
+		// only runs near the stop, where the bound cannot decide.
+		if !rt.vor.DistanceToRegionBeyond(c.vert, target, dCur/3) {
+			_, dz := rt.vor.DistanceToRegion(c.vert, target)
+			if dz <= dCur/3 {
+				return hops, nil
+			}
 		}
-		next := o.greedyNeighbor(c, target)
+		next := o.greedyNeighbor(rt, c, target)
 		hops++
 		if next == nil {
 			return hops, nil
@@ -204,6 +261,12 @@ func (o *Overlay) routeToPoint(cur **Object, target geom.Point) (int, error) {
 // used as the introduction point (the paper assumes each joining object
 // knows one object in the overlay).
 func (o *Overlay) Join(p geom.Point, via ObjectID) (ObjectID, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.join(p, via)
+}
+
+func (o *Overlay) join(p geom.Point, via ObjectID) (ObjectID, error) {
 	if len(o.ids) == 0 {
 		// Bootstrap: the first object has the whole square as its region;
 		// its long links necessarily point to itself.
@@ -220,7 +283,7 @@ func (o *Overlay) Join(p geom.Point, via ObjectID) (ObjectID, error) {
 
 	// Route towards the new position (AddObject's loop).
 	cur := start
-	hops, err := o.routeToPoint(&cur, p)
+	hops, err := o.routeToPoint(&o.rt, &cur, p)
 	if err != nil {
 		return NoObject, err
 	}
@@ -243,7 +306,7 @@ func (o *Overlay) Join(p geom.Point, via ObjectID) (ObjectID, error) {
 	}
 	id, err := o.insertCore(p, hint, modeJoining)
 	if zID != NoObject {
-		if rerr := o.Remove(zID); rerr != nil {
+		if rerr := o.remove(zID); rerr != nil {
 			return NoObject, rerr
 		}
 		o.counters.Leaves-- // fictive removals are not protocol leaves
@@ -279,7 +342,7 @@ func (o *Overlay) Join(p geom.Point, via ObjectID) (ObjectID, error) {
 // removed!)").
 func (o *Overlay) searchLongLink(obj *Object, tgt geom.Point) (ObjectID, int, error) {
 	cur := obj
-	hops, err := o.routeToPoint(&cur, tgt)
+	hops, err := o.routeToPoint(&o.rt, &cur, tgt)
 	if err != nil {
 		return NoObject, hops, err
 	}
@@ -327,7 +390,7 @@ func (o *Overlay) resolveByFictive(cur *Object, tgt geom.Point) (ObjectID, error
 	// object is exactly the object owning the target's region afterwards;
 	// scanning while z is still present could name a shadowed second-best.
 	if zID != NoObject {
-		if err := o.Remove(zID); err != nil {
+		if err := o.remove(zID); err != nil {
 			return NoObject, err
 		}
 		o.counters.Leaves--
@@ -346,7 +409,7 @@ func (o *Overlay) resolveByFictive(cur *Object, tgt geom.Point) (ObjectID, error
 				owner, best = nid, d
 			}
 		}
-		if err := o.Remove(tID); err != nil {
+		if err := o.remove(tID); err != nil {
 			return NoObject, err
 		}
 		o.counters.Leaves--
@@ -361,22 +424,53 @@ func (o *Overlay) resolveByFictive(cur *Object, tgt geom.Point) (ObjectID, error
 }
 
 // HandleQuery implements Algorithm 4: route the query point from object
-// `from`, determine the owner via the fictive dance, and "answer" it by
-// returning the owner. Hops is the Greedyneighbour count.
+// `from`, determine the owner, and "answer" it by returning the owner.
+// Hops is the Greedyneighbour count.
+//
+// Owner determination depends on Config.FictiveQueries: by default the
+// stopping object resolves Obj(query) with a read-only nearest-site walk
+// (the stop condition guarantees the owner is in its vicinity — Lemma 4);
+// with the flag set it performs the paper's literal fictive insert/remove
+// dance and accounts its cost. Either way the call serialises against the
+// overlay (it updates the shared counters); the Router/Store fast path is
+// the concurrent equivalent.
 func (o *Overlay) HandleQuery(from ObjectID, query geom.Point) (RouteResult, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.handleQuery(from, query)
+}
+
+func (o *Overlay) handleQuery(from ObjectID, query geom.Point) (RouteResult, error) {
 	cur := o.objs[from]
 	if cur == nil {
 		return RouteResult{}, ErrNotFound
 	}
-	hops, err := o.routeToPoint(&cur, query)
+	hops, err := o.routeToPoint(&o.rt, &cur, query)
 	if err != nil {
 		return RouteResult{Hops: hops}, err
 	}
-	owner, err := o.resolveByFictive(cur, query)
-	if err != nil {
-		return RouteResult{Hops: hops}, err
+	var owner ObjectID
+	if o.cfg.FictiveQueries {
+		owner, err = o.resolveByFictive(cur, query)
+		if err != nil {
+			return RouteResult{Hops: hops}, err
+		}
+	} else {
+		owner = o.resolveByNearest(cur, query)
 	}
 	o.counters.MaintenanceMessages++ // AnswerQuery back to the requester
 	o.counters.Queries++
 	return RouteResult{Stop: cur.ID, Owner: owner, Hops: hops}, nil
+}
+
+// resolveByNearest determines Obj(tgt) from the stopping object with a
+// read-only nearest-site walk — the mutation-free equivalent of
+// resolveByFictive. Starting the walk at the stopping object makes it
+// O(1) expected: Algorithm 5's stop condition left us within a constant
+// factor of the target's region (Lemma 4), so the greedy descent crosses
+// only a handful of cells.
+func (o *Overlay) resolveByNearest(cur *Object, tgt geom.Point) ObjectID {
+	var v delaunay.VertexID
+	v, o.nbuf = o.tr.NearestSiteRO(tgt, cur.vert, o.nbuf)
+	return o.byVertex[v]
 }

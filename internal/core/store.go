@@ -1,6 +1,10 @@
 package core
 
 import (
+	"runtime"
+	"sync"
+
+	"voronet/internal/delaunay"
 	"voronet/internal/geom"
 	"voronet/internal/proto"
 	"voronet/internal/store"
@@ -14,12 +18,37 @@ import (
 // to the key — so a workload driven through both implementations must
 // agree key for key (see internal/sim's equivalence test).
 //
-// Routing costs are accounted through HandleQuery (Algorithm 4), so store
-// workloads inherit the simulator's exact protocol cost model.
+// Concurrency: Put, Get and Delete are safe for any number of concurrent
+// callers. By default they ride the overlay's read lock — each operation
+// borrows a pooled Router, resolves the key's owner with a mutation-free
+// nearest-site walk, and touches only the independently-locked buckets —
+// so reads and writes to *different keys* run genuinely in parallel, and
+// all of them run in parallel with each other while a single overlay
+// writer proceeds serially. When removing objects under concurrent store
+// traffic, use RemoveObject — it runs the store handoff and the
+// tessellation surgery atomically; the two-call OnRemove + Overlay.Remove
+// form is for serial drivers. With Config.FictiveQueries set, operations
+// instead route through HandleQuery (Algorithm 4's fictive insert/remove
+// dance) for paper-fidelity cost accounting and therefore serialise.
 type Store struct {
-	ov      *Overlay
-	rep     int
+	ov  *Overlay
+	rep int
+	// fictiveQueries caches Config.FictiveQueries (immutable after New)
+	// so the per-operation mode branch costs no overlay lock round-trip.
+	fictiveQueries bool
+
+	mu      sync.RWMutex // guards buckets (the map, not the Locals)
 	buckets map[ObjectID]*store.Local
+
+	clients sync.Pool // *storeClient
+}
+
+// storeClient is the per-goroutine scratch of one in-flight store
+// operation: a Router for owner resolution and a neighbour buffer for
+// replica placement.
+type storeClient struct {
+	r   *Router
+	vns []ObjectID
 }
 
 // NewStore attaches an empty object store to ov. replication <= 0 selects
@@ -28,15 +57,29 @@ func NewStore(ov *Overlay, replication int) *Store {
 	if replication <= 0 {
 		replication = store.DefaultReplication
 	}
-	return &Store{ov: ov, rep: replication, buckets: make(map[ObjectID]*store.Local)}
+	s := &Store{
+		ov:             ov,
+		rep:            replication,
+		fictiveQueries: ov.Config().FictiveQueries,
+		buckets:        make(map[ObjectID]*store.Local),
+	}
+	s.clients.New = func() any { return &storeClient{r: ov.NewRouter()} }
+	return s
 }
 
 // Replication returns the replication factor R.
 func (s *Store) Replication() int { return s.rep }
 
 func (s *Store) bucket(id ObjectID) *store.Local {
+	s.mu.RLock()
 	b := s.buckets[id]
-	if b == nil {
+	s.mu.RUnlock()
+	if b != nil {
+		return b
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b = s.buckets[id]; b == nil {
 		b = store.NewLocal()
 		s.buckets[id] = b
 	}
@@ -46,21 +89,49 @@ func (s *Store) bucket(id ObjectID) *store.Local {
 // Put routes a PUT from object `from` to the owner of key, which stores
 // value and replicates it. It returns the owner and the route's hop count.
 func (s *Store) Put(from ObjectID, key geom.Point, value []byte) (ObjectID, int, error) {
-	res, err := s.ov.HandleQuery(from, key)
+	if s.fictive() {
+		res, err := s.ov.HandleQuery(from, key)
+		if err != nil {
+			return NoObject, 0, err
+		}
+		rec := s.bucket(res.Owner).Put(key, value)
+		s.replicate(res.Owner, NoObject, rec)
+		return res.Owner, res.Hops, nil
+	}
+	c := s.client()
+	defer s.clients.Put(c)
+	s.ov.mu.RLock()
+	defer s.ov.mu.RUnlock()
+	res, err := c.r.resolve(from, key)
 	if err != nil {
-		return NoObject, 0, err
+		return NoObject, res.Hops, err
 	}
 	rec := s.bucket(res.Owner).Put(key, value)
-	s.replicate(res.Owner, NoObject, rec)
+	s.replicateLocked(c, res.Owner, NoObject, rec)
 	return res.Owner, res.Hops, nil
 }
 
 // Get routes a GET from object `from` and returns the owner's record
 // value, or store.ErrNotFound for a missing or deleted key.
 func (s *Store) Get(from ObjectID, key geom.Point) ([]byte, int, error) {
-	res, err := s.ov.HandleQuery(from, key)
+	if s.fictive() {
+		res, err := s.ov.HandleQuery(from, key)
+		if err != nil {
+			return nil, 0, err
+		}
+		rec, ok := s.bucket(res.Owner).Get(key)
+		if !ok {
+			return nil, res.Hops, store.ErrNotFound
+		}
+		return rec.Value, res.Hops, nil
+	}
+	c := s.client()
+	defer s.clients.Put(c)
+	s.ov.mu.RLock()
+	defer s.ov.mu.RUnlock()
+	res, err := c.r.resolve(from, key)
 	if err != nil {
-		return nil, 0, err
+		return nil, res.Hops, err
 	}
 	rec, ok := s.bucket(res.Owner).Get(key)
 	if !ok {
@@ -73,22 +144,54 @@ func (s *Store) Get(from ObjectID, key geom.Point) ([]byte, int, error) {
 // tombstones the record and replicates the tombstone. It returns
 // store.ErrNotFound when the owner had no live record.
 func (s *Store) Delete(from ObjectID, key geom.Point) (int, error) {
-	res, err := s.ov.HandleQuery(from, key)
+	if s.fictive() {
+		res, err := s.ov.HandleQuery(from, key)
+		if err != nil {
+			return 0, err
+		}
+		tomb, ok := s.bucket(res.Owner).Delete(key)
+		if !ok {
+			return res.Hops, store.ErrNotFound
+		}
+		s.replicate(res.Owner, NoObject, tomb)
+		return res.Hops, nil
+	}
+	c := s.client()
+	defer s.clients.Put(c)
+	s.ov.mu.RLock()
+	defer s.ov.mu.RUnlock()
+	res, err := c.r.resolve(from, key)
 	if err != nil {
-		return 0, err
+		return res.Hops, err
 	}
 	tomb, ok := s.bucket(res.Owner).Delete(key)
 	if !ok {
 		return res.Hops, store.ErrNotFound
 	}
-	s.replicate(res.Owner, NoObject, tomb)
+	s.replicateLocked(c, res.Owner, NoObject, tomb)
 	return res.Hops, nil
 }
 
+func (s *Store) fictive() bool { return s.fictiveQueries }
+
+func (s *Store) client() *storeClient { return s.clients.Get().(*storeClient) }
+
 // replicate pushes rec to the rep Voronoi neighbours of owner closest to
-// the record's key, skipping `exclude` (a departing object).
+// the record's key, skipping `exclude` (a departing object). It takes the
+// overlay locks itself; the caller must hold none.
 func (s *Store) replicate(owner, exclude ObjectID, rec proto.StoreRecord) {
-	vns, err := s.ov.VoronoiNeighbors(owner, nil)
+	c := s.client()
+	defer s.clients.Put(c)
+	s.ov.mu.RLock()
+	defer s.ov.mu.RUnlock()
+	s.replicateLocked(c, owner, exclude, rec)
+}
+
+// replicateLocked is replicate under a held overlay read lock, placing
+// replicas via the client's private scratch.
+func (s *Store) replicateLocked(c *storeClient, owner, exclude ObjectID, rec proto.StoreRecord) {
+	vns, err := c.r.voronoiNeighbors(owner, c.vns)
+	c.vns = vns[:0]
 	if err != nil {
 		return
 	}
@@ -113,22 +216,112 @@ func (s *Store) replicate(owner, exclude ObjectID, rec proto.StoreRecord) {
 	}
 }
 
+// StoreOp is one operation for the Do fan-out front-end.
+type StoreOp struct {
+	Kind  OpKind
+	From  ObjectID
+	Key   geom.Point
+	Value []byte // OpPut only
+}
+
+// OpKind selects the operation of a StoreOp.
+type OpKind uint8
+
+// StoreOp kinds.
+const (
+	OpPut OpKind = iota
+	OpGet
+	OpDelete
+)
+
+// StoreResult reports one completed StoreOp.
+type StoreResult struct {
+	Owner ObjectID
+	Hops  int
+	Value []byte // OpGet only
+	Err   error
+}
+
+// Do executes ops across `workers` goroutines (0 selects GOMAXPROCS) and
+// returns one result per op, order-aligned. Operations on distinct keys
+// are independent; operations on the same key race exactly as concurrent
+// clients of the distributed store do (the per-bucket versioning keeps
+// every interleaving consistent). (The bench harness fans out with its
+// own worker loop because it also times each operation; Do is the
+// batteries-included equivalent for callers that only need results.)
+func (s *Store) Do(ops []StoreOp, workers int) []StoreResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ops) {
+		workers = len(ops)
+	}
+	results := make([]StoreResult, len(ops))
+	if workers == 0 {
+		return results
+	}
+	var wg sync.WaitGroup
+	chunk := (len(ops) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, len(ops))
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				op := ops[i]
+				r := &results[i]
+				switch op.Kind {
+				case OpPut:
+					r.Owner, r.Hops, r.Err = s.Put(op.From, op.Key, op.Value)
+				case OpGet:
+					r.Value, r.Hops, r.Err = s.Get(op.From, op.Key)
+				case OpDelete:
+					r.Hops, r.Err = s.Delete(op.From, op.Key)
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return results
+}
+
 // OnInsert performs the store side of AddVoronoiRegion for a freshly
 // inserted object: each new Voronoi neighbour hands over the records whose
 // key now falls in the newcomer's region (keeping its copy as a replica),
 // and the newcomer re-replicates them. Call it right after Overlay.Insert
-// or Overlay.Join.
+// or Overlay.Join. Fast-path operations landing between the insert and
+// this handoff see the distributed system's mid-churn semantics: a GET at
+// the new owner may miss a record still travelling (eventually
+// consistent), and a PUT is stored at the new owner and survives the
+// handoff — no acknowledged write is lost.
 func (s *Store) OnInsert(id ObjectID) {
+	c := s.client()
+	defer s.clients.Put(c)
+	s.ov.mu.Lock()
+	defer s.ov.mu.Unlock()
+	s.onInsertLocked(c, id)
+}
+
+func (s *Store) onInsertLocked(c *storeClient, id ObjectID) {
 	obj := s.ov.objs[id]
 	if obj == nil {
 		return
 	}
-	vns, err := s.ov.VoronoiNeighbors(id, nil)
+	vnsBuf, err := c.r.voronoiNeighbors(id, c.vns)
+	c.vns = vnsBuf[:0]
 	if err != nil {
 		return
 	}
+	// Copy: replicateLocked below reuses the client's neighbour buffer.
+	vns := append([]ObjectID(nil), vnsBuf...)
 	for _, nid := range vns {
+		s.mu.RLock()
 		b := s.buckets[nid]
+		s.mu.RUnlock()
 		if b == nil {
 			continue
 		}
@@ -138,7 +331,7 @@ func (s *Store) OnInsert(id ObjectID) {
 		})
 		for _, rec := range moved {
 			if s.bucket(id).Apply(rec) {
-				s.replicate(id, NoObject, rec)
+				s.replicateLocked(c, id, NoObject, rec)
 			}
 		}
 	}
@@ -149,28 +342,101 @@ func (s *Store) OnInsert(id ObjectID) {
 // closest to its key — the region's next owner — which re-replicates it.
 // Call it right before Overlay.Remove, while the tessellation still holds
 // the departing object.
+//
+// OnRemove + Overlay.Remove as two calls leaves a window in which a
+// concurrent fast-path PUT could re-create the drained bucket and lose an
+// acknowledged write once the object disappears. With concurrent store
+// traffic use RemoveObject, which runs the handoff and the tessellation
+// surgery in one atomic step; the two-call form is for serial drivers
+// (the sim mirror protocol keeps handoff and surgery as separate protocol
+// events).
 func (s *Store) OnRemove(id ObjectID) {
+	c := s.client()
+	defer s.clients.Put(c)
+	s.ov.mu.Lock()
+	defer s.ov.mu.Unlock()
+	s.onRemoveLocked(c, id)
+}
+
+// InsertObject inserts an object at p together with its store handoff,
+// atomically with respect to concurrent Put/Get/Delete. The two-call
+// Overlay.Insert + OnInsert form leaves a window in which a PUT acked by
+// the fresh owner (whose bucket restarts the key's version chain) can be
+// clobbered by the handoff delivering an older value with a higher
+// version; running both under one write lock keeps every key's version
+// chain continuous across ownership changes.
+func (s *Store) InsertObject(p geom.Point) (ObjectID, error) {
+	c := s.client()
+	defer s.clients.Put(c)
+	s.ov.mu.Lock()
+	defer s.ov.mu.Unlock()
+	id, err := s.ov.insert(p, delaunay.NoVertex)
+	if err != nil {
+		return NoObject, err
+	}
+	s.onInsertLocked(c, id)
+	return id, nil
+}
+
+// JoinObject is InsertObject through the full routed join protocol
+// (Algorithm 1): protocol join plus store handoff in one atomic step.
+func (s *Store) JoinObject(p geom.Point, via ObjectID) (ObjectID, error) {
+	c := s.client()
+	defer s.clients.Put(c)
+	s.ov.mu.Lock()
+	defer s.ov.mu.Unlock()
+	id, err := s.ov.join(p, via)
+	if err != nil {
+		return NoObject, err
+	}
+	s.onInsertLocked(c, id)
+	return id, nil
+}
+
+// RemoveObject removes object id from the overlay together with its store
+// handoff, atomically with respect to concurrent Put/Get/Delete: the
+// whole handoff-plus-surgery runs under the overlay write lock, so no
+// operation can slip between the bucket drain and the object's
+// disappearance.
+func (s *Store) RemoveObject(id ObjectID) error {
+	c := s.client()
+	defer s.clients.Put(c)
+	s.ov.mu.Lock()
+	defer s.ov.mu.Unlock()
+	s.onRemoveLocked(c, id)
+	return s.ov.remove(id)
+}
+
+func (s *Store) onRemoveLocked(c *storeClient, id ObjectID) {
+	s.mu.Lock()
 	b := s.buckets[id]
 	delete(s.buckets, id)
-	obj := s.ov.objs[id]
-	if b == nil || obj == nil {
+	s.mu.Unlock()
+	if b == nil || s.ov.objs[id] == nil {
 		return
 	}
-	vns, err := s.ov.VoronoiNeighbors(id, nil)
-	if err != nil || len(vns) == 0 {
+	vnsBuf, err := c.r.voronoiNeighbors(id, c.vns)
+	c.vns = vnsBuf[:0]
+	if err != nil || len(vnsBuf) == 0 {
 		return
+	}
+	// Copy: replicateLocked below reuses the client's neighbour buffer.
+	vns := append([]ObjectID(nil), vnsBuf...)
+	pos := make([]geom.Point, len(vns))
+	for i, nid := range vns {
+		pos[i] = s.ov.objs[nid].Pos
 	}
 	for _, rec := range b.Snapshot() {
-		best := NoObject
+		best, bestAt := NoObject, -1
 		bestD := 0.0
-		for _, nid := range vns {
-			d := geom.Dist2(s.ov.objs[nid].Pos, rec.Key)
-			if best == NoObject || d < bestD {
-				best, bestD = nid, d
+		for i, nid := range vns {
+			d := geom.Dist2(pos[i], rec.Key)
+			if bestAt < 0 || d < bestD {
+				best, bestAt, bestD = nid, i, d
 			}
 		}
 		if s.bucket(best).Apply(rec) {
-			s.replicate(best, id, rec)
+			s.replicateLocked(c, best, id, rec)
 		}
 	}
 }
@@ -178,7 +444,7 @@ func (s *Store) OnRemove(id ObjectID) {
 // Copies returns the number of objects holding a live record for key.
 func (s *Store) Copies(key geom.Point) int {
 	n := 0
-	for _, b := range s.buckets {
+	for _, b := range s.snapshotBuckets() {
 		if _, ok := b.Get(key); ok {
 			n++
 		}
@@ -191,7 +457,7 @@ func (s *Store) Copies(key geom.Point) int {
 // owners see them.
 func (s *Store) Len() int {
 	seen := make(map[geom.Point]bool)
-	for _, b := range s.buckets {
+	for _, b := range s.snapshotBuckets() {
 		for _, rec := range b.Snapshot() {
 			if !seen[rec.Key] {
 				if _, err := s.StatusOf(rec.Key); err == nil {
@@ -201,6 +467,18 @@ func (s *Store) Len() int {
 		}
 	}
 	return len(seen)
+}
+
+// snapshotBuckets copies the bucket list so diagnostics can iterate
+// without holding the map lock across per-bucket work.
+func (s *Store) snapshotBuckets() []*store.Local {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*store.Local, 0, len(s.buckets))
+	for _, b := range s.buckets {
+		out = append(out, b)
+	}
+	return out
 }
 
 // StatusOf resolves key's current owner and reports whether it holds a

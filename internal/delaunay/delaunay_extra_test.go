@@ -107,7 +107,7 @@ func TestLocateExhaustiveAgreesWithWalk(t *testing.T) {
 	for q := 0; q < 200; q++ {
 		p := geom.Pt(rng.Float64()*1.4-0.2, rng.Float64()*1.4-0.2)
 		a := tr.Locate(p, NoVertex)
-		b := tr.locateExhaustive(p)
+		b := tr.locateExhaustive(p, true)
 		if a.Kind != b.Kind {
 			t.Fatalf("kind mismatch at %v: walk %v, scan %v", p, a.Kind, b.Kind)
 		}
@@ -120,7 +120,7 @@ func TestLocateExhaustiveAgreesWithWalk(t *testing.T) {
 	}
 	// Exact-site queries.
 	tr.ForEachSite(func(v VertexID, p geom.Point) bool {
-		loc := tr.locateExhaustive(p)
+		loc := tr.locateExhaustive(p, true)
 		if loc.Kind != LocVertex || loc.Vertex != v {
 			t.Fatalf("exhaustive locate missed site %d", v)
 		}

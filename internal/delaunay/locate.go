@@ -1,6 +1,10 @@
 package delaunay
 
-import "voronet/internal/geom"
+import (
+	"math"
+
+	"voronet/internal/geom"
+)
 
 // LocKind classifies the result of point location.
 type LocKind int
@@ -25,6 +29,20 @@ type Location struct {
 	Vertex VertexID // for LocVertex: the coincident site
 }
 
+// walkRng is a tiny xorshift64 generator used to randomise the probe order
+// of a visibility walk without touching the triangulation's shared RNG, so
+// read-only walks stay side-effect-free and safe for concurrent callers.
+type walkRng uint64
+
+func (w *walkRng) intn3() int {
+	x := uint64(*w)
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*w = walkRng(x)
+	return int(x % 3)
+}
+
 // Locate finds the position of p in the triangulation using a remembering
 // visibility walk starting near hint (a live vertex, or NoVertex to start
 // from the last touched face). It requires dimension 2.
@@ -32,6 +50,21 @@ type Location struct {
 // The walk is guaranteed to terminate on a Delaunay triangulation; as a
 // defence in depth a step budget triggers an exhaustive scan.
 func (t *Triangulation) Locate(p geom.Point, hint VertexID) Location {
+	return t.locateWalk(p, t.startFace(hint), nil)
+}
+
+// LocateRO is Locate without side effects: it neither advances the
+// triangulation's walk RNG nor updates the last-face cache, so any number
+// of goroutines may call it concurrently as long as no insertion or
+// removal runs at the same time.
+func (t *Triangulation) LocateRO(p geom.Point, hint VertexID) Location {
+	ro := walkRng(math.Float64bits(p.X)*0x9e3779b97f4a7c15 ^ math.Float64bits(p.Y) | 1)
+	return t.locateWalk(p, t.startFace(hint), &ro)
+}
+
+// startFace picks the walk's starting face from the hint (falling back to
+// the last touched face, then any live face).
+func (t *Triangulation) startFace(hint VertexID) FaceID {
 	start := t.lastFace
 	if hint != NoVertex && t.Alive(hint) && t.verts[hint].face != NoFace {
 		start = t.verts[hint].face
@@ -39,7 +72,7 @@ func (t *Triangulation) Locate(p geom.Point, hint VertexID) Location {
 	if start == NoFace || !t.faces[start].alive {
 		start = t.anyAliveFace()
 	}
-	return t.locateFrom(p, start)
+	return start
 }
 
 func (t *Triangulation) anyAliveFace() FaceID {
@@ -51,7 +84,11 @@ func (t *Triangulation) anyAliveFace() FaceID {
 	return NoFace
 }
 
-func (t *Triangulation) locateFrom(p geom.Point, start FaceID) Location {
+// locateWalk runs the visibility walk. A nil ro selects the mutating mode
+// (shared RNG for probe order, last-face cache updated); a non-nil ro makes
+// the walk read-only, drawing probe order from ro and leaving every shared
+// field untouched.
+func (t *Triangulation) locateWalk(p geom.Point, start FaceID, ro *walkRng) Location {
 	f := start
 	// If we start on an infinite face, step to its finite neighbour.
 	if !t.isFiniteFace(f) {
@@ -65,7 +102,7 @@ func (t *Triangulation) locateFrom(p geom.Point, start FaceID) Location {
 			// Should be unreachable (the visibility walk terminates on
 			// Delaunay triangulations); fall back to an exhaustive scan so a
 			// latent bug degrades to O(n) instead of a hang.
-			return t.locateExhaustive(p)
+			return t.locateExhaustive(p, ro == nil)
 		}
 		fc := &t.faces[f]
 		if fc.v[0] == Infinite || fc.v[1] == Infinite || fc.v[2] == Infinite {
@@ -75,7 +112,12 @@ func (t *Triangulation) locateFrom(p geom.Point, start FaceID) Location {
 		var orients [3]int
 		moved := false
 		// Randomise the edge probing order so the walk cannot cycle.
-		r := t.rng.Intn(3)
+		var r int
+		if ro != nil {
+			r = ro.intn3()
+		} else {
+			r = t.rng.Intn(3)
+		}
 		for j := 0; j < 3; j++ {
 			k := (r + j) % 3
 			if fc.n[k] == prev && prev != NoFace {
@@ -97,7 +139,9 @@ func (t *Triangulation) locateFrom(p geom.Point, start FaceID) Location {
 			continue
 		}
 		// p is inside the closed triangle.
-		t.lastFace = f
+		if ro == nil {
+			t.lastFace = f
+		}
 		zeroCount := 0
 		zeroIdx := -1
 		for k := 0; k < 3; k++ {
@@ -124,8 +168,9 @@ func (t *Triangulation) locateFrom(p geom.Point, start FaceID) Location {
 	}
 }
 
-// locateExhaustive is the O(n) fallback: test every face.
-func (t *Triangulation) locateExhaustive(p geom.Point) Location {
+// locateExhaustive is the O(n) fallback: test every face. record controls
+// whether the last-face cache is updated (false on read-only walks).
+func (t *Triangulation) locateExhaustive(p geom.Point, record bool) Location {
 	for id := range t.faces {
 		fc := &t.faces[id]
 		if !fc.alive {
@@ -149,7 +194,9 @@ func (t *Triangulation) locateExhaustive(p geom.Point) Location {
 			continue
 		}
 		f := FaceID(id)
-		t.lastFace = f
+		if record {
+			t.lastFace = f
+		}
 		zeroCount, zeroIdx := 0, -1
 		for k := 0; k < 3; k++ {
 			if orients[k] == 0 {
@@ -201,8 +248,22 @@ func (t *Triangulation) locateExhaustive(p geom.Point) Location {
 // triangulation every non-nearest vertex has a neighbour strictly closer
 // to the query.
 func (t *Triangulation) NearestSite(p geom.Point, hint VertexID) VertexID {
+	v, _ := t.nearestSite(p, hint, nil, false)
+	return v
+}
+
+// NearestSiteRO is NearestSite without side effects: the location walk
+// neither advances the shared RNG nor updates the last-face cache, and the
+// neighbour scratch comes from the caller, so concurrent goroutines may
+// resolve owners simultaneously on a frozen triangulation. It returns the
+// (possibly grown) scratch buffer for reuse.
+func (t *Triangulation) NearestSiteRO(p geom.Point, hint VertexID, buf []VertexID) (VertexID, []VertexID) {
+	return t.nearestSite(p, hint, buf, true)
+}
+
+func (t *Triangulation) nearestSite(p geom.Point, hint VertexID, buf []VertexID, ro bool) (VertexID, []VertexID) {
 	if t.nFinite == 0 {
-		return NoVertex
+		return NoVertex, buf
 	}
 	if t.dim < 2 {
 		best := NoVertex
@@ -213,13 +274,18 @@ func (t *Triangulation) NearestSite(p geom.Point, hint VertexID) VertexID {
 				best, bestD = v, d
 			}
 		}
-		return best
+		return best, buf
 	}
-	loc := t.Locate(p, hint)
+	var loc Location
+	if ro {
+		loc = t.LocateRO(p, hint)
+	} else {
+		loc = t.Locate(p, hint)
+	}
 	var cur VertexID
 	switch loc.Kind {
 	case LocVertex:
-		return loc.Vertex
+		return loc.Vertex, buf
 	default:
 		fc := &t.faces[loc.Face]
 		cur = NoVertex
@@ -235,7 +301,6 @@ func (t *Triangulation) NearestSite(p geom.Point, hint VertexID) VertexID {
 		}
 	}
 	// Greedy descent.
-	var buf []VertexID
 	for {
 		buf = t.Neighbors(cur, buf)
 		best := cur
@@ -246,7 +311,7 @@ func (t *Triangulation) NearestSite(p geom.Point, hint VertexID) VertexID {
 			}
 		}
 		if best == cur {
-			return cur
+			return cur, buf
 		}
 		cur = best
 	}

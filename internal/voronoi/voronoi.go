@@ -110,6 +110,35 @@ func (d *Diagram) Contains(v delaunay.VertexID, p geom.Point) bool {
 	return true
 }
 
+// DistanceToRegionBeyond reports whether dist(p, R(v)) provably exceeds
+// thresh, using the maximum bisector violation as a lower bound: R(v) is
+// contained in every halfplane {x : |x−v| ≤ |x−u|}, so p's distance to the
+// region is at least its distance past any single bisector. One pass over
+// the neighbours, no cell construction — this is what lets greedy routing
+// evaluate Algorithm 5's stop condition in O(deg) per hop, falling back to
+// the exact DistanceToRegion only when the bound cannot decide (i.e. near
+// the stop). A false result means "not provable", not "within thresh".
+func (d *Diagram) DistanceToRegionBeyond(v delaunay.VertexID, p geom.Point, thresh float64) bool {
+	o := d.tr.Point(v)
+	d.nbuf = d.tr.Neighbors(v, d.nbuf)
+	for _, u := range d.nbuf {
+		q := d.tr.Point(u)
+		n := q.Sub(o)
+		nn := n.Dot(n)
+		if nn == 0 {
+			continue
+		}
+		// Signed distance of p past the bisector of (v, u):
+		// s = (n·p − n·m) / |n| with m the midpoint.
+		m := o.Add(q).Scale(0.5)
+		s := n.Dot(p.Sub(m))
+		if s > 0 && s*s > thresh*thresh*nn {
+			return true
+		}
+	}
+	return false
+}
+
 // DistanceToRegion returns the point of R(v) closest to p and its distance.
 // This is the paper's DistanceToRegion primitive executed at object v for a
 // routing target p: if p lies in R(v) the result is p itself with distance

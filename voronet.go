@@ -79,7 +79,15 @@ type RouteResult = core.RouteResult
 // QueryStats accounts the cost of a range or radius query.
 type QueryStats = core.QueryStats
 
-// Overlay is a VoroNet overlay.
+// Overlay is a VoroNet overlay. It follows a single-writer / many-readers
+// discipline: mutating and serially-accounted operations (Insert, Join,
+// Remove, HandleQuery, RouteToObject, and the scratch-backed accessors
+// such as VoronoiNeighbors and Cell) serialise behind an internal write
+// lock, while the Router read engine, the Store fast path and the
+// scratch-free accessors (Owner, Position, Degree, ...) run under the
+// read lock — so routing, owner resolution and store reads scale across
+// cores, concurrently with one writer. Fan concurrent reads through one
+// Router per goroutine.
 type Overlay = core.Overlay
 
 // Errors returned by overlay operations.
@@ -92,8 +100,12 @@ var (
 // RoutePair is one sampled couple for Overlay.MeasureRoutes.
 type RoutePair = core.RoutePair
 
-// Router performs concurrent read-only greedy routing; see
-// Overlay.NewRouter and Overlay.MeasureRoutes.
+// Router is the overlay's concurrent read engine: mutation-free greedy
+// routing, owner resolution and range/radius queries over private scratch
+// state, guarded by the overlay's read lock. Create one per goroutine with
+// Overlay.NewRouter; any number may run concurrently, including while a
+// single writer joins and removes objects. See Overlay.MeasureRoutes for
+// the pre-built parallel route measurement.
 type Router = core.Router
 
 // Store is the attribute-addressed object store riding on an overlay:
@@ -106,6 +118,22 @@ type Store = core.Store
 
 // StoreRecord is one stored payload with its version and tombstone flag.
 type StoreRecord = proto.StoreRecord
+
+// StoreOp is one operation for the Store.Do worker fan-out.
+type StoreOp = core.StoreOp
+
+// StoreResult reports one completed StoreOp.
+type StoreResult = core.StoreResult
+
+// OpKind selects the operation of a StoreOp.
+type OpKind = core.OpKind
+
+// StoreOp kinds.
+const (
+	OpPut    = core.OpPut
+	OpGet    = core.OpGet
+	OpDelete = core.OpDelete
+)
 
 // DefaultReplication is the default store replication factor R.
 const DefaultReplication = store.DefaultReplication
