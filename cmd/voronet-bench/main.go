@@ -68,6 +68,9 @@ func main() {
 	flag.Parse()
 	start := time.Now()
 	switch {
+	case *netBench:
+		runNetBench()
+		return
 	case *chaosMode:
 		runChaos()
 		return

@@ -1,0 +1,431 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"voronet/internal/geom"
+	"voronet/internal/node"
+	"voronet/internal/proto"
+	"voronet/internal/store"
+	"voronet/internal/transport"
+)
+
+// The -net mode measures the live message-passing node runtime end to
+// end: a multi-peer loopback TCP topology (and, for contrast, the
+// simnet) driving routed point queries and store GETs from concurrent
+// clients, once under the legacy serial-dispatch transport (one global
+// mutex, one Write syscall per frame) and once under the concurrent
+// default (per-peer dispatch lanes, bounded worker pool, coalesced
+// writes). One JSON line per (transport, dispatch) pair goes to stdout:
+//
+//	voronet-bench -net > BENCH_net.json
+//	voronet-bench -net -net-nodes 16 -net-clients 64 -net-ops 8000
+//
+// The workload is identical across modes — same topology seed, same
+// targets, same origins — so the hop totals must match exactly; the
+// final summary line reports the throughput ratio and that hop check.
+var (
+	netBench   = flag.Bool("net", false, "run the live-runtime network benchmark, JSON lines on stdout")
+	netNodes   = flag.Int("net-nodes", 12, "overlay size (-net)")
+	netOps     = flag.Int("net-ops", 4000, "routed queries per phase (-net)")
+	netClients = flag.Int("net-clients", 32, "concurrent client goroutines (-net)")
+	netKeys    = flag.Int("net-keys", 64, "stored keys for the GET phase (-net)")
+	netWorkers = flag.Int("net-workers", 8, "dispatch workers per endpoint in parallel mode (-net)")
+	netSimnet  = flag.Bool("net-simnet", true, "also measure the simnet serial vs parallel drain (-net)")
+	netMixVal  = flag.Int("net-mix-value-bytes", 128<<10, "background PUT value size of the mixed phase (-net)")
+	netReps    = flag.Int("net-reps", 1, "repetitions per mode, best per phase kept (-net; noise control on busy hosts)")
+)
+
+// netWorkload pins the randomness shared by every mode: node positions,
+// query targets, per-op origins and stored keys.
+type netWorkload struct {
+	positions []geom.Point
+	targets   []geom.Point
+	origins   []int
+	keys      []geom.Point
+	getOrder  []int
+}
+
+func buildNetWorkload() *netWorkload {
+	rng := rand.New(rand.NewSource(*seed))
+	w := &netWorkload{}
+	for i := 0; i < *netNodes; i++ {
+		w.positions = append(w.positions, geom.Pt(rng.Float64(), rng.Float64()))
+	}
+	for i := 0; i < *netOps; i++ {
+		w.targets = append(w.targets, geom.Pt(rng.Float64(), rng.Float64()))
+		w.origins = append(w.origins, rng.Intn(*netNodes))
+	}
+	for i := 0; i < *netKeys; i++ {
+		w.keys = append(w.keys, geom.Pt(rng.Float64(), rng.Float64()))
+	}
+	for i := 0; i < *netOps; i++ {
+		w.getOrder = append(w.getOrder, rng.Intn(*netKeys))
+	}
+	return w
+}
+
+func netNodeConfig(i int) node.Config {
+	return node.Config{
+		DMin: 0.05, LongLinks: 2, Seed: int64(i),
+		// Generous deadlines: a timed-out op would skew the hop totals the
+		// modes are compared on.
+		StoreTimeout: 60 * time.Second, QueryTimeout: 60 * time.Second,
+	}
+}
+
+// netPhaseStats summarises one measured phase.
+type netPhaseStats struct {
+	wall      float64
+	completed int
+	timeouts  int
+	sumHops   int
+	bgOps     int // background PUTs completed during a mixed phase
+	latencies []time.Duration
+}
+
+func (s *netPhaseStats) pct(q float64) float64 {
+	if len(s.latencies) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(s.latencies)-1))
+	return float64(s.latencies[i].Nanoseconds()) / 1e3
+}
+
+// runNetClients fans ops out over the client goroutines: op i runs
+// one blocking operation via `do`, which returns the hop count (or
+// node.HopsTimedOut).
+func runNetClients(ops int, do func(i int) int) *netPhaseStats {
+	st := &netPhaseStats{latencies: make([]time.Duration, ops)}
+	hops := make([]int, ops)
+	clients := *netClients
+	if clients > ops {
+		clients = ops
+	}
+	chunk := (ops + clients - 1) / clients
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		lo, hi := c*chunk, (c+1)*chunk
+		if hi > ops {
+			hi = ops
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				t0 := time.Now()
+				hops[i] = do(i)
+				st.latencies[i] = time.Since(t0)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	st.wall = time.Since(start).Seconds()
+	for _, h := range hops {
+		if h == node.HopsTimedOut {
+			st.timeouts++
+			continue
+		}
+		st.completed++
+		st.sumHops += h
+	}
+	sort.Slice(st.latencies, func(i, j int) bool { return st.latencies[i] < st.latencies[j] })
+	return st
+}
+
+// runNetTCP builds the loopback TCP overlay under the given dispatch mode
+// and measures the query and GET phases.
+func runNetTCP(mode string, w *netWorkload) (query, get, mixed *netPhaseStats) {
+	opts := transport.TCPOptions{DispatchWorkers: *netWorkers}
+	if mode == "serial" {
+		opts = transport.TCPOptions{SerialDispatch: true, NoCoalesce: true}
+	}
+	nodes := make([]*node.Node, 0, *netNodes)
+	eps := make([]*transport.TCPEndpoint, 0, *netNodes)
+	defer func() {
+		for _, ep := range eps {
+			ep.Close()
+		}
+	}()
+	for i := 0; i < *netNodes; i++ {
+		ep, err := transport.ListenTCPOptions("127.0.0.1:0", opts)
+		if err != nil {
+			fatal(err)
+		}
+		eps = append(eps, ep)
+		nd := node.New(ep, w.positions[i], netNodeConfig(i))
+		if i == 0 {
+			if err := nd.Bootstrap(); err != nil {
+				fatal(err)
+			}
+		} else {
+			if err := nd.Join(nodes[0].Info().Addr); err != nil {
+				fatal(err)
+			}
+			deadline := time.Now().Add(30 * time.Second)
+			for !nd.Joined() {
+				if time.Now().After(deadline) {
+					fatal(fmt.Errorf("net bench: node %d failed to join", i))
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
+		nodes = append(nodes, nd)
+	}
+	time.Sleep(200 * time.Millisecond) // let maintenance gossip settle
+
+	for i, k := range w.keys {
+		if err := nodes[i%len(nodes)].PutSync(k, []byte(fmt.Sprintf("net-%04d", i))); err != nil {
+			fatal(fmt.Errorf("net bench: seed put %d: %w", i, err))
+		}
+	}
+
+	query = runNetClients(*netOps, func(i int) int {
+		done := make(chan int, 1)
+		if err := nodes[w.origins[i]].Query(w.targets[i], func(_ proto.NodeInfo, hops int) {
+			done <- hops
+		}); err != nil {
+			return node.HopsTimedOut
+		}
+		return <-done
+	})
+	get = runNetClients(*netOps, func(i int) int {
+		done := make(chan int, 1)
+		if err := nodes[w.origins[i]].Get(w.keys[w.getOrder[i]], func(r store.Reply) {
+			if r.Err != nil {
+				done <- node.HopsTimedOut
+				return
+			}
+			done <- r.Hops
+		}); err != nil {
+			return node.HopsTimedOut
+		}
+		return <-done
+	})
+
+	// Mixed phase: the query stream again, this time while background
+	// writers continuously push large-value PUTs (each one a big frame to
+	// decode plus R replica frames to fan out). Under serial dispatch a
+	// node busy with one big frame stalls *every* peer's routing through
+	// it — the head-of-line pathology the per-peer lanes remove.
+	stop := make(chan struct{})
+	var bgPuts atomic.Int64
+	var bgWG sync.WaitGroup
+	bigVal := make([]byte, *netMixVal)
+	for b := 0; b < 4; b++ {
+		bgWG.Add(1)
+		go func(b int) {
+			defer bgWG.Done()
+			rng := rand.New(rand.NewSource(int64(500 + b)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := geom.Pt(rng.Float64(), rng.Float64())
+				if err := nodes[b%len(nodes)].PutSync(k, bigVal); err == nil {
+					bgPuts.Add(1)
+				}
+			}
+		}(b)
+	}
+	mixed = runNetClients(*netOps, func(i int) int {
+		done := make(chan int, 1)
+		if err := nodes[w.origins[i]].Query(w.targets[i], func(_ proto.NodeInfo, hops int) {
+			done <- hops
+		}); err != nil {
+			return node.HopsTimedOut
+		}
+		return <-done
+	})
+	close(stop)
+	bgWG.Wait()
+	mixed.bgOps = int(bgPuts.Load())
+	return query, get, mixed
+}
+
+// runNetSimnet measures the same workload over the in-memory bus: ops are
+// enqueued, then a single Drain (serial or parallel) delivers the whole
+// batch — the measured figure is drain throughput, the simulator's
+// equivalent of dispatch throughput.
+func runNetSimnet(mode string, w *netWorkload) (query *netPhaseStats) {
+	bus := transport.NewBus()
+	nodes := make([]*node.Node, 0, *netNodes)
+	for i := 0; i < *netNodes; i++ {
+		ep, err := bus.Attach(fmt.Sprintf("n%03d", i))
+		if err != nil {
+			fatal(err)
+		}
+		nd := node.New(ep, w.positions[i], netNodeConfig(i))
+		if i == 0 {
+			if err := nd.Bootstrap(); err != nil {
+				fatal(err)
+			}
+		} else {
+			if err := nd.Join(nodes[0].Info().Addr); err != nil {
+				fatal(err)
+			}
+			bus.Drain()
+			if !nd.Joined() {
+				fatal(fmt.Errorf("net bench: simnet node %d failed to join", i))
+			}
+		}
+		nodes = append(nodes, nd)
+	}
+	if mode == "parallel" {
+		bus.SetParallelDelivery(*netWorkers)
+	}
+
+	st := &netPhaseStats{}
+	// Pre-fill with the timeout sentinel: an answer lost in the drain must
+	// count as unanswered, not as a 0-hop success inflating the figures.
+	hops := make([]int, *netOps)
+	for i := range hops {
+		hops[i] = node.HopsTimedOut
+	}
+	var mu sync.Mutex
+	start := time.Now()
+	for i := 0; i < *netOps; i++ {
+		i := i
+		if err := nodes[w.origins[i]].Query(w.targets[i], func(_ proto.NodeInfo, h int) {
+			mu.Lock()
+			hops[i] = h
+			mu.Unlock()
+		}); err != nil {
+			fatal(err)
+		}
+	}
+	bus.Drain()
+	st.wall = time.Since(start).Seconds()
+	for _, h := range hops {
+		if h == node.HopsTimedOut {
+			st.timeouts++
+			continue
+		}
+		st.completed++
+		st.sumHops += h
+	}
+	return st
+}
+
+// runNetBench drives both transports under both dispatch modes and
+// prints one JSON line each, plus a summary line with the speedup and
+// the hop-identity check the acceptance criteria name.
+func runNetBench() {
+	w := buildNetWorkload()
+	enc := json.NewEncoder(os.Stdout)
+	type result struct {
+		query, get, mixed *netPhaseStats
+	}
+	tcp := map[string]result{}
+	better := func(a, b *netPhaseStats) *netPhaseStats {
+		if a == nil || float64(b.completed)/b.wall > float64(a.completed)/a.wall {
+			return b
+		}
+		return a
+	}
+	for _, mode := range []string{"serial", "parallel"} {
+		var q, g, m *netPhaseStats
+		for rep := 0; rep < max(*netReps, 1); rep++ {
+			rq, rg, rm := runNetTCP(mode, w)
+			q, g, m = better(q, rq), better(g, rg), better(m, rm)
+		}
+		tcp[mode] = result{query: q, get: g, mixed: m}
+		line := map[string]any{
+			"bench":               "net",
+			"transport":           "tcp",
+			"dispatch":            mode,
+			"nodes":               *netNodes,
+			"clients":             *netClients,
+			"ops":                 *netOps,
+			"seed":                *seed,
+			"gomaxprocs":          runtime.GOMAXPROCS(0),
+			"query_qps":           round3(float64(q.completed) / q.wall),
+			"routed_msgs_per_sec": round3(float64(q.sumHops+q.completed) / q.wall),
+			"query_mean_hops":     round3(float64(q.sumHops) / float64(max(q.completed, 1))),
+			"query_sum_hops":      q.sumHops,
+			"query_timeouts":      q.timeouts,
+			"query_p50_us":        round3(q.pct(0.50)),
+			"query_p95_us":        round3(q.pct(0.95)),
+			"query_p99_us":        round3(q.pct(0.99)),
+			"get_ops_per_sec":     round3(float64(g.completed) / g.wall),
+			"get_sum_hops":        g.sumHops,
+			"get_timeouts":        g.timeouts,
+			"get_p50_us":          round3(g.pct(0.50)),
+			"get_p95_us":          round3(g.pct(0.95)),
+			"get_p99_us":          round3(g.pct(0.99)),
+			"mixed_query_qps":     round3(float64(m.completed) / m.wall),
+			"mixed_bg_put_bytes":  *netMixVal,
+			"mixed_bg_puts":       m.bgOps,
+			"mixed_timeouts":      m.timeouts,
+			"mixed_p50_us":        round3(m.pct(0.50)),
+			"mixed_p95_us":        round3(m.pct(0.95)),
+			"mixed_p99_us":        round3(m.pct(0.99)),
+			"unix_millis":         time.Now().UnixMilli(),
+		}
+		if err := enc.Encode(line); err != nil {
+			fatal(err)
+		}
+	}
+	if *netSimnet {
+		for _, mode := range []string{"serial", "parallel"} {
+			q := runNetSimnet(mode, w)
+			line := map[string]any{
+				"bench":               "net",
+				"transport":           "simnet",
+				"dispatch":            mode,
+				"nodes":               *netNodes,
+				"ops":                 *netOps,
+				"seed":                *seed,
+				"gomaxprocs":          runtime.GOMAXPROCS(0),
+				"drain_qps":           round3(float64(q.completed) / q.wall),
+				"routed_msgs_per_sec": round3(float64(q.sumHops+q.completed) / q.wall),
+				"query_mean_hops":     round3(float64(q.sumHops) / float64(max(q.completed, 1))),
+				"query_sum_hops":      q.sumHops,
+				"query_timeouts":      q.timeouts,
+				"unix_millis":         time.Now().UnixMilli(),
+			}
+			if err := enc.Encode(line); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	ser, par := tcp["serial"], tcp["parallel"]
+	speedup := (float64(par.query.sumHops+par.query.completed) / par.query.wall) /
+		(float64(ser.query.sumHops+ser.query.completed) / ser.query.wall)
+	summary := map[string]any{
+		"bench":             "net",
+		"transport":         "tcp",
+		"summary":           true,
+		"throughput_ratio":  round3(speedup),
+		"get_ratio":         round3((float64(par.get.completed) / par.get.wall) / (float64(ser.get.completed) / ser.get.wall)),
+		"mixed_qps_ratio":   round3((float64(par.mixed.completed) / par.mixed.wall) / (float64(ser.mixed.completed) / ser.mixed.wall)),
+		"mixed_p99_ratio":   round3(ser.mixed.pct(0.99) / par.mixed.pct(0.99)),
+		"hops_identical":    ser.query.sumHops == par.query.sumHops && ser.get.sumHops == par.get.sumHops,
+		"serial_sum_hops":   ser.query.sumHops,
+		"parallel_sum_hops": par.query.sumHops,
+	}
+	if err := enc.Encode(summary); err != nil {
+		fatal(err)
+	}
+	verdictStderr := "MATCHES"
+	if speedup < 2 {
+		verdictStderr = "DIVERGES"
+	}
+	fmt.Fprintf(os.Stderr, "# net %s — parallel dispatch vs serial baseline: %.2fx routed throughput (want >= 2x)\n",
+		verdictStderr, speedup)
+}

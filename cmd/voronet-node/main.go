@@ -119,8 +119,12 @@ func main() {
 			}
 			done := make(chan struct{})
 			err := nd.Query(geom.Pt(qx, qy), func(owner proto.NodeInfo, hops int) {
-				fmt.Printf("owner of (%g, %g): %s at (%g, %g), %d hops\n",
-					qx, qy, owner.Addr, owner.Pos.X, owner.Pos.Y, hops)
+				if hops == node.HopsTimedOut {
+					fmt.Printf("query (%g, %g): no answer before the deadline (owner crashed?)\n", qx, qy)
+				} else {
+					fmt.Printf("owner of (%g, %g): %s at (%g, %g), %d hops\n",
+						qx, qy, owner.Addr, owner.Pos.X, owner.Pos.Y, hops)
+				}
 				close(done)
 			})
 			if err != nil {

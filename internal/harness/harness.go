@@ -215,9 +215,10 @@ func (r *Run) addNode() (*member, error) {
 		Seed:        r.scn.Seed + int64(len(r.members)),
 		Replication: r.scn.Replication,
 		// Replies either arrive during the drain or are lost to a fault;
-		// an effectively infinite timeout keeps wall-clock timers (which
+		// effectively infinite timeouts keep wall-clock timers (which
 		// would be nondeterministic) out of the run entirely.
 		StoreTimeout: 365 * 24 * time.Hour,
+		QueryTimeout: 365 * 24 * time.Hour,
 	})
 	m := &member{nd: nd, ep: ep, addr: addr, alive: true}
 	r.members = append(r.members, m)

@@ -1,43 +1,63 @@
 package node
 
 import (
-	"errors"
 	"math"
 	"sort"
 
 	"voronet/internal/geom"
 	"voronet/internal/proto"
 	"voronet/internal/store"
-	"voronet/internal/transport"
 )
 
-// handle dispatches one inbound protocol message. The transports guarantee
-// serial invocation; n.mu protects against concurrent API calls.
+// handle dispatches one inbound protocol message. Handlers may run
+// concurrently (the TCP transport delivers independent peers' messages in
+// parallel; per-peer order is preserved): every access to shared state
+// goes through n.mu — read paths under the read lock, view surgery under
+// the write lock — or through queryMu / the internally-locked store
+// tables.
 func (n *Node) handle(from string, payload []byte) {
 	env, err := proto.Decode(payload)
 	if err != nil {
 		return // malformed frame: drop
 	}
-	n.mu.Lock()
-	// Merge the sender's tombstones: gossip must not resurrect the dead.
-	selfDeparted := false
-	for _, d := range env.Departed {
-		if d != n.self.Addr {
-			n.tombstoneLocked(d)
-		}
-		if d == env.From.Addr {
-			selfDeparted = true
-		}
+	n.deliver(env)
+}
+
+// deliver processes one decoded envelope (split from handle so tests can
+// inject envelopes that the wire decoder would reject, proving the
+// defence-in-depth guards below hold on their own).
+func (n *Node) deliver(env *proto.Envelope) {
+	// Tombstone bookkeeping needs the write lock, but the overwhelmingly
+	// common case — no departures advertised, sender not tombstoned — can
+	// establish under the read lock that there is nothing to do.
+	needTombWork := len(env.Departed) > 0
+	if !needTombWork {
+		n.mu.RLock()
+		needTombWork = n.tombs[env.From.Addr]
+		n.mu.RUnlock()
 	}
-	// A message from a tombstoned address proves it is alive again
-	// (rejoined at the same address): lift the tombstone — unless the
-	// sender lists itself as departed, a farewell message from a node on
-	// its way out.
-	if !selfDeparted && env.Type != proto.KindLeave && env.Type != proto.KindLeaveCN && n.tombs[env.From.Addr] {
-		delete(n.tombs, env.From.Addr)
+	if needTombWork {
+		n.mu.Lock()
+		// Merge the sender's tombstones: gossip must not resurrect the dead.
+		selfDeparted := false
+		for _, d := range env.Departed {
+			if d != n.self.Addr {
+				n.tombstoneLocked(d)
+			}
+			if d == env.From.Addr {
+				selfDeparted = true
+			}
+		}
+		// A message from a tombstoned address proves it is alive again
+		// (rejoined at the same address): lift the tombstone — unless the
+		// sender lists itself as departed, a farewell message from a node on
+		// its way out.
+		if !selfDeparted && env.Type != proto.KindLeave && env.Type != proto.KindLeaveCN && n.tombs[env.From.Addr] {
+			delete(n.tombs, env.From.Addr)
+		}
+		n.purgeTombstonedLocked()
+		n.mu.Unlock()
 	}
-	n.purgeTombstonedLocked()
-	n.mu.Unlock()
 
 	switch env.Type {
 	case proto.KindRoute:
@@ -62,13 +82,17 @@ func (n *Node) handle(from string, payload []byte) {
 		n.mu.Unlock()
 	case proto.KindLongLinkGrant:
 		n.mu.Lock()
-		if env.Link < len(n.longNbrs) {
+		// The lower bound is defence in depth: proto.Decode rejects
+		// negative Link fields, but a slice index from the wire must
+		// never be trusted on one layer alone (a Link of -1 panicked the
+		// node before the guard).
+		if env.Link >= 0 && env.Link < len(n.longNbrs) {
 			n.longNbrs[env.Link] = env.From
 		}
 		n.mu.Unlock()
 	case proto.KindLongLinkUpdate:
 		n.mu.Lock()
-		if env.Link < len(n.longNbrs) {
+		if env.Link >= 0 && env.Link < len(n.longNbrs) {
 			n.longNbrs[env.Link] = env.Granter
 		}
 		n.mu.Unlock()
@@ -126,18 +150,19 @@ func (n *Node) handle(from string, payload []byte) {
 		n.handleRangeForward(env)
 	case proto.KindRangeHit:
 		n.queryMu.Lock()
-		cb := n.rangeHits[env.QueryID]
+		pr := n.rangeHits[env.QueryID]
 		n.queryMu.Unlock()
-		if cb != nil {
-			cb(env.From)
+		if pr != nil {
+			pr.deliver(env.From)
 		}
 	case proto.KindQueryAnswer:
 		n.queryMu.Lock()
-		cb := n.queries[env.QueryID]
+		pq := n.queries[env.QueryID]
 		delete(n.queries, env.QueryID)
 		n.queryMu.Unlock()
-		if cb != nil {
-			cb(env.From, env.Hops)
+		if pq != nil {
+			pq.timer.Stop()
+			pq.cb(env.From, env.Hops)
 		}
 	case proto.KindStoreReply:
 		n.inflight.Resolve(env.QueryID, store.Reply{
@@ -151,29 +176,25 @@ func (n *Node) handle(from string, payload []byte) {
 
 // handleRoute performs one greedy step of Algorithm 5's framework, or
 // handles the routed purpose locally when this node owns the target
-// region (no neighbour is closer).
+// region (no neighbour is closer). The whole forwarding path is read-only
+// over the view — concurrent routed messages scan under the shared read
+// lock and never wait on each other.
 func (n *Node) handleRoute(env *proto.Envelope) {
-	n.mu.Lock()
-	if !n.joined {
-		n.mu.Unlock()
-		return
-	}
-	n.mu.Unlock()
 	// A GET is answered by the first node on the greedy path holding the
 	// key — owner or replica; a tombstone answers "deleted" with equal
 	// authority. The rank check keeps nodes that dropped out of the key's
 	// replica set under churn from serving stale versions.
-	if env.Purpose == proto.PurposeStoreGet {
+	if env.Purpose == proto.PurposeStoreGet && n.Joined() {
 		if rec, ok := n.kv.Lookup(env.Target); ok && n.inReplicaSet(env.Target) {
 			n.replyStoreHit(env, rec)
 			return
 		}
 	}
-	n.mu.Lock()
+	n.mu.RLock()
 	if !n.joined {
-		// A concurrent Leave may have completed while the lock was
-		// released for the replica probe.
-		n.mu.Unlock()
+		// Not joined, or a concurrent Leave completed while the replica
+		// probe ran without the lock.
+		n.mu.RUnlock()
 		return
 	}
 	best := n.self
@@ -200,20 +221,13 @@ func (n *Node) handleRoute(env *proto.Envelope) {
 	for _, l := range n.longNbrs {
 		consider(l)
 	}
-	n.mu.Unlock()
+	n.mu.RUnlock()
 
 	if best.Addr != n.self.Addr {
 		fwd := *env
 		fwd.Hops++
 		fwd.From = n.self
-		err := n.send(best.Addr, &fwd)
-		if err != nil && !errors.Is(err, transport.ErrUnknownPeer) {
-			// A TCP send can fail transiently — a cached connection the
-			// remote closed while idle — and the retry re-dials. Only a
-			// second failure condemns the peer.
-			err = n.send(best.Addr, &fwd)
-		}
-		if err != nil {
+		if err := n.sendWithRetry(best.Addr, &fwd); err != nil {
 			// The chosen next hop is unreachable at the transport level —
 			// it crashed without a leave announcement. Repair the views
 			// around it and retry the step with what remains; each retry
@@ -236,7 +250,7 @@ func (n *Node) handleRoute(env *proto.Envelope) {
 			Type: proto.KindLongLinkGrant, From: n.self, Link: env.Link, Hops: env.Hops,
 		})
 	case proto.PurposeQuery:
-		n.send(env.Origin.Addr, &proto.Envelope{
+		n.sendWithRetry(env.Origin.Addr, &proto.Envelope{
 			Type: proto.KindQueryAnswer, From: n.self, QueryID: env.QueryID, Hops: env.Hops,
 		})
 	case proto.PurposeRange:
@@ -465,6 +479,13 @@ func (n *Node) handleCNAdd(env *proto.Envelope) {
 	var replyTo []proto.NodeInfo
 	for _, c := range env.CloseCand {
 		if c.Addr == n.self.Addr {
+			continue
+		}
+		// A candidate list computed before its sender learned of a crash
+		// can still carry the dead address; since the preamble no longer
+		// purges on every message (only when tombstone work arrives),
+		// nothing downstream would evict it.
+		if n.tombs[c.Addr] {
 			continue
 		}
 		if geom.Dist(c.Pos, n.self.Pos) > n.cfg.DMin {
@@ -701,8 +722,8 @@ func (n *Node) vnList() []proto.NodeInfo {
 // NearestKnown returns the closest node to p among this node's view
 // (including itself) — a local helper for diagnostics and examples.
 func (n *Node) NearestKnown(p geom.Point) proto.NodeInfo {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	best := n.self
 	bestD := geom.Dist2(n.self.Pos, p)
 	for _, v := range n.vn {

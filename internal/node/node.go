@@ -32,6 +32,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"voronet/internal/delaunay"
@@ -57,7 +58,18 @@ type Config struct {
 	// StoreTimeout bounds each routed store operation; the callback fires
 	// with store.ErrTimeout when it passes (default 5s).
 	StoreTimeout time.Duration
+	// QueryTimeout bounds each routed Query and RangeQuery: when it
+	// passes without an answer (the owner crashed mid-query, the answer
+	// was lost), the registered callback is reaped — a Query callback
+	// fires once with HopsTimedOut — instead of leaking forever
+	// (default 5s).
+	QueryTimeout time.Duration
 }
+
+// HopsTimedOut is the hop count a Query callback receives when its
+// deadline passed without an answer; the owner argument is the zero
+// NodeInfo.
+const HopsTimedOut = -1
 
 // Errors returned by node operations.
 var (
@@ -66,8 +78,19 @@ var (
 )
 
 // Node is one VoroNet peer.
+//
+// Locking discipline (see DESIGN.md): mu is a single-writer /
+// many-readers lock over the view state (vn, twoHop, cn, long links,
+// back, tombs). Read-only message paths — the greedy next-hop scan, query
+// and store-GET serving, range-flood fan-out, the public snapshot
+// accessors — take the read lock, snapshot what they need, release it and
+// only then touch the transport. View surgery (join admission, leave,
+// departure repair, neighbour recomputation, BLRn rebalance) takes the
+// write lock. No lock is ever held across a transport send
+// (TestNoLockHeldAcrossSends). queryMu independently guards the
+// query/range callback and flood-dedup tables; it never nests with mu.
 type Node struct {
-	mu   sync.Mutex
+	mu   sync.RWMutex
 	ep   transport.Endpoint
 	self proto.NodeInfo
 	cfg  Config
@@ -93,11 +116,13 @@ type Node struct {
 	lastVN []proto.NodeInfo
 
 	queryMu  sync.Mutex
-	queries  map[uint64]func(owner proto.NodeInfo, hops int)
+	queries  map[uint64]*pendingQuery
 	querySeq uint64
 
-	// Range-query state: per-origin callbacks and flood deduplication.
-	rangeHits  map[uint64]func(owner proto.NodeInfo)
+	// Range-query state: per-origin callbacks (with their reaping timers)
+	// and flood deduplication, all under queryMu so the read-only flood
+	// path never needs the view write lock.
+	rangeHits  map[uint64]*pendingRange
 	rangeSeen  map[rangeKey]bool
 	rangeOrder []rangeKey
 
@@ -107,7 +132,47 @@ type Node struct {
 	inflight *store.Inflight
 
 	// Sent counts outbound protocol messages (cost accounting).
-	Sent uint64
+	Sent atomic.Uint64
+}
+
+// pendingQuery is one registered Query callback and the deadline timer
+// that reaps it if the answer never arrives (the owner crashed
+// mid-query): without the timer the entry — and everything the callback
+// closure captures — would leak forever.
+type pendingQuery struct {
+	cb    func(owner proto.NodeInfo, hops int)
+	timer *time.Timer
+}
+
+// pendingRange is one registered RangeQuery callback with its reaping
+// timer. The protocol is fire-and-collect with no completion signal, so
+// the timer simply ends the collection window; late hits are dropped.
+// deliver and reap synchronise on mu: once reap returns, no further cb
+// invocation can start — callers may safely tear down whatever the
+// callback writes to after the window closes.
+type pendingRange struct {
+	cb    func(owner proto.NodeInfo)
+	timer *time.Timer
+
+	mu     sync.Mutex
+	reaped bool
+}
+
+// deliver invokes the callback unless the registration has been reaped.
+func (pr *pendingRange) deliver(owner proto.NodeInfo) {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	if !pr.reaped {
+		pr.cb(owner)
+	}
+}
+
+// reap closes the collection window: it blocks until any in-flight
+// delivery completes and prevents all future ones.
+func (pr *pendingRange) reap() {
+	pr.mu.Lock()
+	pr.reaped = true
+	pr.mu.Unlock()
 }
 
 // New creates a node at pos attached to ep. The node is not part of any
@@ -125,6 +190,9 @@ func New(ep transport.Endpoint, pos geom.Point, cfg Config) *Node {
 	if cfg.StoreTimeout <= 0 {
 		cfg.StoreTimeout = 5 * time.Second
 	}
+	if cfg.QueryTimeout <= 0 {
+		cfg.QueryTimeout = 5 * time.Second
+	}
 	n := &Node{
 		ep:        ep,
 		self:      proto.NodeInfo{Addr: ep.Addr(), Pos: pos},
@@ -134,8 +202,8 @@ func New(ep transport.Endpoint, pos geom.Point, cfg Config) *Node {
 		twoHop:    make(map[string][]proto.NodeInfo),
 		cn:        make(map[string]proto.NodeInfo),
 		tombs:     make(map[string]bool),
-		queries:   make(map[uint64]func(proto.NodeInfo, int)),
-		rangeHits: make(map[uint64]func(proto.NodeInfo)),
+		queries:   make(map[uint64]*pendingQuery),
+		rangeHits: make(map[uint64]*pendingRange),
 		rangeSeen: make(map[rangeKey]bool),
 		kv:        store.NewLocal(),
 		inflight:  store.NewInflight(),
@@ -149,15 +217,15 @@ func (n *Node) Info() proto.NodeInfo { return n.self }
 
 // Joined reports whether the node is part of an overlay.
 func (n *Node) Joined() bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	return n.joined
 }
 
 // Neighbors returns a snapshot of vn.
 func (n *Node) Neighbors() []proto.NodeInfo {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	out := make([]proto.NodeInfo, 0, len(n.vn))
 	for _, v := range n.vn {
 		out = append(out, v)
@@ -167,8 +235,8 @@ func (n *Node) Neighbors() []proto.NodeInfo {
 
 // CloseNeighbors returns a snapshot of cn.
 func (n *Node) CloseNeighbors() []proto.NodeInfo {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	out := make([]proto.NodeInfo, 0, len(n.cn))
 	for _, v := range n.cn {
 		out = append(out, v)
@@ -178,22 +246,22 @@ func (n *Node) CloseNeighbors() []proto.NodeInfo {
 
 // LongNeighbors returns a snapshot of the long-link view.
 func (n *Node) LongNeighbors() []proto.NodeInfo {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	return append([]proto.NodeInfo(nil), n.longNbrs...)
 }
 
 // BackEntries returns a snapshot of BLRn.
 func (n *Node) BackEntries() []proto.BackEntry {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	return append([]proto.BackEntry(nil), n.back...)
 }
 
 // LongTargets returns the node's fixed long-link target points.
 func (n *Node) LongTargets() []geom.Point {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	return append([]geom.Point(nil), n.longTargets...)
 }
 
@@ -220,12 +288,12 @@ func (n *Node) Bootstrap() error {
 // asynchronous; poll Joined (the in-memory bus makes it synchronous under
 // Drain).
 func (n *Node) Join(via string) error {
-	n.mu.Lock()
+	n.mu.RLock()
 	if n.joined {
-		n.mu.Unlock()
+		n.mu.RUnlock()
 		return ErrAlreadyJoined
 	}
-	n.mu.Unlock()
+	n.mu.RUnlock()
 	return n.send(via, &proto.Envelope{
 		Type:    proto.KindRoute,
 		Purpose: proto.PurposeJoin,
@@ -235,18 +303,33 @@ func (n *Node) Join(via string) error {
 }
 
 // Query greedy-routes a point query (Algorithm 4) and invokes cb with the
-// owning object and the hop count when the answer arrives.
+// owning object and the hop count when the answer arrives. If no answer
+// arrives within Config.QueryTimeout — the owner crashed mid-query, the
+// answer was lost — cb fires exactly once with the zero NodeInfo and
+// HopsTimedOut, and the registration is reaped rather than leaked.
 func (n *Node) Query(p geom.Point, cb func(owner proto.NodeInfo, hops int)) error {
-	n.mu.Lock()
+	n.mu.RLock()
 	if !n.joined {
-		n.mu.Unlock()
+		n.mu.RUnlock()
 		return ErrNotJoined
 	}
-	n.mu.Unlock()
+	n.mu.RUnlock()
 	n.queryMu.Lock()
 	n.querySeq++
 	id := n.querySeq
-	n.queries[id] = cb
+	pq := &pendingQuery{cb: cb}
+	pq.timer = time.AfterFunc(n.cfg.QueryTimeout, func() {
+		n.queryMu.Lock()
+		reaped := n.queries[id] == pq
+		if reaped {
+			delete(n.queries, id)
+		}
+		n.queryMu.Unlock()
+		if reaped {
+			cb(proto.NodeInfo{}, HopsTimedOut)
+		}
+	})
+	n.queries[id] = pq
 	n.queryMu.Unlock()
 	env := &proto.Envelope{
 		Type:    proto.KindRoute,
@@ -389,15 +472,28 @@ func (n *Node) send(to string, env *proto.Envelope) error {
 	if err != nil {
 		return err
 	}
-	n.mu.Lock()
-	n.Sent++
-	n.mu.Unlock()
+	n.Sent.Add(1)
 	if to == n.self.Addr {
 		// Local delivery without the transport.
 		n.handle(n.self.Addr, b)
 		return nil
 	}
 	return n.ep.Send(to, b)
+}
+
+// sendWithRetry sends env to `to`, retrying exactly once on a transient
+// transport failure — a cached TCP connection the remote closed while
+// idle fails its first write, and the retry re-dials. Structural failures
+// (transport.ErrUnknownPeer, transport.ErrClosed) mean resending the same
+// frame can never succeed, so they return immediately; the retry policy
+// lives here, shared by the greedy forwarding step and the store reply
+// paths, instead of being re-implemented per call site.
+func (n *Node) sendWithRetry(to string, env *proto.Envelope) error {
+	err := n.send(to, env)
+	if err == nil || errors.Is(err, transport.ErrUnknownPeer) || errors.Is(err, transport.ErrClosed) {
+		return err
+	}
+	return n.send(to, env)
 }
 
 func mustEncode(env *proto.Envelope) []byte {

@@ -40,7 +40,12 @@ func (c *cluster) addNode(t *testing.T, pos geom.Point, dmin float64) *Node {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nd := New(ep, pos, Config{DMin: dmin, LongLinks: 1, Seed: int64(c.seq)})
+	// Replies either arrive during the synchronous drain or are lost for
+	// good; an effectively infinite query timeout keeps wall-clock reaper
+	// timers (whose async callbacks would race with test state) out of
+	// bus-driven tests. The reaper itself is tested in query_leak_test.go.
+	nd := New(ep, pos, Config{DMin: dmin, LongLinks: 1, Seed: int64(c.seq),
+		QueryTimeout: 365 * 24 * time.Hour})
 	if len(c.nodes) == 0 {
 		if err := nd.Bootstrap(); err != nil {
 			t.Fatal(err)

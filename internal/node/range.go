@@ -1,6 +1,8 @@
 package node
 
 import (
+	"time"
+
 	"voronet/internal/geom"
 	"voronet/internal/proto"
 	"voronet/internal/voronoi"
@@ -16,23 +18,39 @@ import (
 // against the segment — the region is computable purely from the node's
 // local view (voronoi.LocalCell over vn) — answers the origin directly if
 // it intersects, and forwards once to its neighbours. Per-query
-// deduplication keeps the flood linear in the answer size.
+// deduplication keeps the flood linear in the answer size. The whole
+// flood path is read-only over the view: dedup state lives under queryMu
+// and the cell test runs under the shared read lock, so concurrent floods
+// and routed traffic never serialise behind view surgery.
 
 // RangeQuery routes a segment query and invokes cb once per in-range
 // object as answers arrive (ordering is arbitrary; the in-memory bus makes
 // collection synchronous under Drain). There is no completion signal — the
-// protocol, like the paper's sketch, is fire-and-collect.
+// protocol, like the paper's sketch, is fire-and-collect; the collection
+// window closes after Config.QueryTimeout, when the callback registration
+// is reaped (late hits are dropped, never leaked).
 func (n *Node) RangeQuery(a, b geom.Point, cb func(owner proto.NodeInfo)) error {
-	n.mu.Lock()
+	n.mu.RLock()
 	if !n.joined {
-		n.mu.Unlock()
+		n.mu.RUnlock()
 		return ErrNotJoined
 	}
-	n.mu.Unlock()
+	n.mu.RUnlock()
 	n.queryMu.Lock()
 	n.querySeq++
 	id := n.querySeq
-	n.rangeHits[id] = cb
+	pr := &pendingRange{cb: cb}
+	pr.timer = time.AfterFunc(n.cfg.QueryTimeout, func() {
+		n.queryMu.Lock()
+		if n.rangeHits[id] == pr {
+			delete(n.rangeHits, id)
+		}
+		n.queryMu.Unlock()
+		// After reap returns no hit can invoke cb anymore, even one that
+		// had already read the registration from the map.
+		pr.reap()
+	})
+	n.rangeHits[id] = pr
 	n.queryMu.Unlock()
 	env := &proto.Envelope{
 		Type:    proto.KindRoute,
@@ -57,9 +75,9 @@ func (n *Node) startRangeFlood(env *proto.Envelope) {
 // handleRangeForward processes one flood step.
 func (n *Node) handleRangeForward(env *proto.Envelope) {
 	key := rangeKey{origin: env.Origin.Addr, id: env.QueryID}
-	n.mu.Lock()
-	if !n.joined || n.rangeSeen[key] {
-		n.mu.Unlock()
+	n.queryMu.Lock()
+	if n.rangeSeen[key] {
+		n.queryMu.Unlock()
 		return
 	}
 	n.rangeSeen[key] = true
@@ -69,7 +87,13 @@ func (n *Node) handleRangeForward(env *proto.Envelope) {
 		n.rangeOrder = n.rangeOrder[1:]
 		delete(n.rangeSeen, old)
 	}
+	n.queryMu.Unlock()
 
+	n.mu.RLock()
+	if !n.joined {
+		n.mu.RUnlock()
+		return
+	}
 	// Does our own region intersect the segment? Computable locally.
 	var nbrPts []geom.Point
 	for _, v := range n.vn {
@@ -97,7 +121,7 @@ func (n *Node) handleRangeForward(env *proto.Envelope) {
 	if inRange {
 		fwdTo = n.vnList()
 	}
-	n.mu.Unlock()
+	n.mu.RUnlock()
 
 	if !inRange {
 		return

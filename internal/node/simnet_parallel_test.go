@@ -1,0 +1,124 @@
+package node
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"voronet/internal/geom"
+	"voronet/internal/proto"
+	"voronet/internal/store"
+	"voronet/internal/transport"
+)
+
+// TestBusParallelDrainEquivalence: the opt-in parallel simnet delivery
+// must agree with the deterministic serial drain on protocol outcomes.
+// The overlay is built under serial delivery (joins are view surgery and
+// their transcripts must stay replayable); the read-only workload —
+// routed point queries and store GETs — then runs under each mode and
+// must name the same owners, the same hop counts and the same values.
+// Run under -race: the parallel drain invokes node handlers concurrently,
+// so this is also the race audit of the node's read-path locking over the
+// simnet.
+func TestBusParallelDrainEquivalence(t *testing.T) {
+	const (
+		peers   = 24
+		queries = 60
+		keys    = 20
+	)
+	type answer struct {
+		owner string
+		hops  int
+	}
+
+	run := func(parallel bool) ([]answer, []string) {
+		bus := transport.NewBus()
+		rng := rand.New(rand.NewSource(99))
+		var nodes []*Node
+		for i := 0; i < peers; i++ {
+			addr := fmt.Sprintf("n%03d", i)
+			ep, err := bus.Attach(addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nd := New(ep, geom.Pt(rng.Float64(), rng.Float64()), Config{
+				DMin: 0.05, LongLinks: 1, Seed: int64(i), Replication: 2,
+				QueryTimeout: 365 * 24 * time.Hour, StoreTimeout: 365 * 24 * time.Hour,
+			})
+			if i == 0 {
+				if err := nd.Bootstrap(); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				if err := nd.Join(nodes[rng.Intn(len(nodes))].Info().Addr); err != nil {
+					t.Fatal(err)
+				}
+				bus.Drain()
+				if !nd.Joined() {
+					t.Fatalf("node %s failed to join", addr)
+				}
+			}
+			nodes = append(nodes, nd)
+		}
+		// Seed the store under serial delivery too: PUTs mutate replica
+		// state and are not part of the read-path equivalence claim.
+		keyPts := make([]geom.Point, keys)
+		for i := range keyPts {
+			keyPts[i] = geom.Pt(rng.Float64(), rng.Float64())
+			if err := nodes[rng.Intn(peers)].Put(keyPts[i], []byte(fmt.Sprintf("v%03d", i)), nil); err != nil {
+				t.Fatal(err)
+			}
+			bus.Drain()
+		}
+
+		if parallel {
+			bus.SetParallelDelivery(8)
+		}
+
+		// The read-only workload: fixed query points from fixed origins.
+		answers := make([]answer, queries)
+		var mu sync.Mutex
+		wrng := rand.New(rand.NewSource(7))
+		for q := 0; q < queries; q++ {
+			q := q
+			p := geom.Pt(wrng.Float64(), wrng.Float64())
+			if err := nodes[q%peers].Query(p, func(owner proto.NodeInfo, hops int) {
+				mu.Lock()
+				answers[q] = answer{owner: owner.Addr, hops: hops}
+				mu.Unlock()
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		bus.Drain()
+
+		values := make([]string, keys)
+		for i := range keyPts {
+			i := i
+			if err := nodes[(i*3)%peers].Get(keyPts[i], func(r store.Reply) {
+				mu.Lock()
+				values[i] = string(r.Value)
+				mu.Unlock()
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		bus.Drain()
+		return answers, values
+	}
+
+	serialAns, serialVals := run(false)
+	parAns, parVals := run(true)
+	for q := range serialAns {
+		if serialAns[q] != parAns[q] {
+			t.Errorf("query %d: serial %+v, parallel %+v", q, serialAns[q], parAns[q])
+		}
+	}
+	for i := range serialVals {
+		if serialVals[i] != parVals[i] {
+			t.Errorf("get %d: serial %q, parallel %q", i, serialVals[i], parVals[i])
+		}
+	}
+}

@@ -70,13 +70,13 @@ func (n *Node) storeOp(purpose proto.RoutedPurpose, key geom.Point, value []byte
 		// frame decoder and the operation would hang until its timeout.
 		return store.ErrValueTooLarge
 	}
-	n.mu.Lock()
+	n.mu.RLock()
 	if !n.joined {
-		n.mu.Unlock()
+		n.mu.RUnlock()
 		return ErrNotJoined
 	}
 	timeout := n.cfg.StoreTimeout
-	n.mu.Unlock()
+	n.mu.RUnlock()
 	if cb == nil {
 		cb = func(store.Reply) {}
 	}
@@ -169,14 +169,14 @@ func (n *Node) StoreLookup(key geom.Point) (proto.StoreRecord, bool) { return n.
 // version wins, equal versions keep the resident record — so repeated
 // sweeps converge. It returns the number of records pushed.
 func (n *Node) SyncReplicas() int {
-	n.mu.Lock()
+	n.mu.RLock()
 	if !n.joined {
-		n.mu.Unlock()
+		n.mu.RUnlock()
 		return 0
 	}
 	self := n.self
 	vns := n.vnList()
-	n.mu.Unlock()
+	n.mu.RUnlock()
 	recs := n.kv.Snapshot()
 	if len(recs) == 0 {
 		return 0
@@ -274,7 +274,7 @@ func (n *Node) handleStoreOwned(env *proto.Envelope) {
 			reply.Version = tomb.Version
 		}
 	}
-	n.send(env.Origin.Addr, reply)
+	n.sendWithRetry(env.Origin.Addr, reply)
 }
 
 // replyStoreHit answers a GET from this node's local record (owner or
@@ -286,7 +286,7 @@ func (n *Node) replyStoreHit(env *proto.Envelope, rec proto.StoreRecord) {
 		reply.Value = rec.Value
 		reply.Version = rec.Version
 	}
-	n.send(env.Origin.Addr, reply)
+	n.sendWithRetry(env.Origin.Addr, reply)
 }
 
 // handleReplicaSync merges pushed records; a handoff makes this node the
@@ -296,14 +296,14 @@ func (n *Node) replyStoreHit(env *proto.Envelope, rec proto.StoreRecord) {
 // to a cleared store on a departed node would strand the records (two
 // adjacent nodes leaving concurrently hand their records to each other).
 func (n *Node) handleReplicaSync(env *proto.Envelope) {
-	n.mu.Lock()
+	n.mu.RLock()
 	joined := n.joined
 	self := n.self
 	var lastVN []proto.NodeInfo
 	if !joined {
 		lastVN = append([]proto.NodeInfo(nil), n.lastVN...)
 	}
-	n.mu.Unlock()
+	n.mu.RUnlock()
 	if !joined {
 		if env.Handoff {
 			n.redelegateHandoff(env, self, lastVN)
@@ -398,10 +398,10 @@ func (n *Node) redelegateHandoff(env *proto.Envelope, self proto.NodeInfo, lastV
 // the cfg.Replication Voronoi neighbours closest to its key. Batches one
 // message per distinct target. exclude (may be empty) names a peer to skip.
 func (n *Node) replicateRecords(recs []proto.StoreRecord, handoff bool, exclude string) {
-	n.mu.Lock()
+	n.mu.RLock()
 	vns := n.vnList()
 	r := n.cfg.Replication
-	n.mu.Unlock()
+	n.mu.RUnlock()
 	if len(vns) == 0 || len(recs) == 0 {
 		return
 	}
@@ -449,8 +449,8 @@ func (n *Node) replicateRecords(recs []proto.StoreRecord, handoff bool, exclude 
 // that churn has made stale; they forward GETs to the owner instead of
 // answering.
 func (n *Node) inReplicaSet(key geom.Point) bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	// The owner candidate by our view: nearest to the key among us and
 	// our neighbours.
 	ownerAddr := n.self.Addr

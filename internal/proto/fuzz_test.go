@@ -29,6 +29,19 @@ func fuzzSeeds() []*Envelope {
 	}
 }
 
+// hostileSeeds returns envelopes no correct peer sends — negative link
+// indices and hop counts, the fields a malicious sender could aim at
+// slice indexing on the receiver. Decode must reject every one of them.
+func hostileSeeds() []*Envelope {
+	return []*Envelope{
+		{Type: KindLongLinkGrant, From: NodeInfo{Addr: "g"}, Link: -1},
+		{Type: KindLongLinkUpdate, Granter: NodeInfo{Addr: "h"}, Link: -7},
+		{Type: KindRoute, Purpose: PurposeLongLink, Target: geom.Pt(0.5, 0.5), Link: -3},
+		{Type: KindRoute, Purpose: PurposeQuery, Target: geom.Pt(0.1, 0.1), Hops: -5},
+		{Type: KindBackTransfer, Back: []BackEntry{{Origin: NodeInfo{Addr: "o"}, Link: -2, Target: geom.Pt(0.9, 0.1)}}},
+	}
+}
+
 // FuzzEnvelopeRoundTrip feeds arbitrary bytes to Decode: garbage must be
 // rejected with an error (never a panic — a node drops the frame and stays
 // up), and anything Decode does accept must re-encode and re-decode to the
@@ -43,6 +56,16 @@ func FuzzEnvelopeRoundTrip(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0x00, 0x01})
+	// Negative Link/Hops envelopes encode fine (gob carries any int) but
+	// must be rejected by Decode's validation — seed the fuzzer with them
+	// so mutations explore the hostile-field space.
+	for _, env := range hostileSeeds() {
+		b, err := Encode(env)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		env, err := Decode(data)
@@ -65,6 +88,22 @@ func FuzzEnvelopeRoundTrip(f *testing.F) {
 			t.Fatalf("encode/decode is not a fixpoint:\n%x\n%x", b1, b2)
 		}
 	})
+}
+
+// TestDecodeRejectsNegativeFields: a Link of -1 (or any negative Link,
+// Hops or BackEntry.Link) used to pass Decode and reach slice indexing in
+// the node's long-link handlers, panicking it remotely. The wire layer now
+// rejects such envelopes outright.
+func TestDecodeRejectsNegativeFields(t *testing.T) {
+	for i, env := range hostileSeeds() {
+		b, err := Encode(env)
+		if err != nil {
+			t.Fatalf("seed %d: encode: %v", i, err)
+		}
+		if got, err := Decode(b); err == nil {
+			t.Errorf("seed %d: negative-field envelope decoded to %+v, want rejection", i, got)
+		}
+	}
 }
 
 func TestDecodeRejectsOversizedFrame(t *testing.T) {

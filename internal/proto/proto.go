@@ -193,6 +193,10 @@ func Encode(e *Envelope) ([]byte, error) {
 
 // Decode deserialises an envelope. Malformed bytes yield an error, never a
 // panic: nodes drop garbage frames and stay up (see FuzzEnvelopeRoundTrip).
+// Structurally valid gob carrying semantically impossible field values is
+// rejected here too: no legitimate sender ever produces a negative Link,
+// Hops or BackEntry.Link, and a negative Link used to reach a slice index
+// and crash the receiving node.
 func Decode(b []byte) (*Envelope, error) {
 	if len(b) > MaxEnvelopeBytes {
 		return nil, fmt.Errorf("proto: decode: frame of %d bytes exceeds %d", len(b), MaxEnvelopeBytes)
@@ -201,5 +205,25 @@ func Decode(b []byte) (*Envelope, error) {
 	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&e); err != nil {
 		return nil, fmt.Errorf("proto: decode: %w", err)
 	}
+	if err := e.validate(); err != nil {
+		return nil, err
+	}
 	return &e, nil
+}
+
+// validate rejects field values no correct peer can send. It runs on every
+// decode, so it must stay O(fields).
+func (e *Envelope) validate() error {
+	if e.Link < 0 {
+		return fmt.Errorf("proto: decode: negative Link %d", e.Link)
+	}
+	if e.Hops < 0 {
+		return fmt.Errorf("proto: decode: negative Hops %d", e.Hops)
+	}
+	for i := range e.Back {
+		if e.Back[i].Link < 0 {
+			return fmt.Errorf("proto: decode: negative Back[%d].Link %d", i, e.Back[i].Link)
+		}
+	}
+	return nil
 }

@@ -7,31 +7,85 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime"
 	"sync"
 )
 
+// TCPOptions tunes a TCP endpoint's dispatch and write behaviour. The zero
+// value selects the concurrent defaults: per-connection ordered delivery
+// lanes dispatched by a bounded worker pool, and coalesced frame writes.
+type TCPOptions struct {
+	// DispatchWorkers bounds how many handler invocations run at once
+	// across all inbound connections; messages from one connection are
+	// always handled in order, one at a time. <= 0 selects GOMAXPROCS
+	// (at least 2, so a slow handler cannot monopolise the endpoint).
+	DispatchWorkers int
+	// SerialDispatch restores the legacy behaviour: one global mutex
+	// serialises every handler invocation across all connections. This is
+	// the pre-concurrency baseline voronet-bench -net measures against.
+	SerialDispatch bool
+	// NoCoalesce disables write coalescing: every Send performs its own
+	// Write syscall, as the pre-concurrency transport did.
+	NoCoalesce bool
+}
+
+func (o TCPOptions) workers() int {
+	if o.DispatchWorkers > 0 {
+		return o.DispatchWorkers
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w < 2 {
+		w = 2
+	}
+	return w
+}
+
 // TCPEndpoint is a transport endpoint over TCP. Each message is a
 // length-prefixed frame carrying the sender address and the payload.
-// Connections are dialled on demand and cached; inbound messages are
-// dispatched to the handler from per-connection goroutines, serialised by
-// an internal mutex so node code never sees concurrent deliveries.
+// Connections are dialled on demand and cached.
+//
+// Inbound delivery is organised as per-peer ordered lanes: every inbound
+// connection's read loop invokes the handler inline, one frame at a time
+// in arrival order, with a semaphore bounding how many handler
+// invocations run at once across connections. Messages from one peer are
+// therefore handled strictly FIFO while independent peers' messages are
+// handled in parallel; a slow handler stops frame reads on its own
+// connection only (the kernel socket buffer and TCP flow control are the
+// bounded mailbox), never its peers'. The handler must be safe for
+// concurrent invocation (internal/node is; its read paths share an
+// RWMutex). TCPOptions.SerialDispatch restores the legacy single-mutex
+// dispatch.
 type TCPEndpoint struct {
-	ln       net.Listener
-	mu       sync.Mutex // guards conns/inbound + handler installation
-	conns    map[string]*tcpConn
-	inbound  map[net.Conn]struct{}
-	handler  Handler
-	dispatch sync.Mutex // serialises handler invocations
+	ln      net.Listener
+	opts    TCPOptions
+	sem     chan struct{} // bounds concurrent handler invocations
+	mu      sync.Mutex    // guards conns/inbound + handler installation
+	conns   map[string]*tcpConn
+	inbound map[net.Conn]struct{}
+	handler Handler
+
+	dispatch sync.Mutex // serialises handler invocations (SerialDispatch)
 	closed   bool
 	wg       sync.WaitGroup
 }
 
-// tcpConn is one cached outbound connection. wmu serialises frame writes:
-// concurrent Sends to the same peer must not interleave their frame bytes
-// on the stream.
+// tcpConn is one cached outbound connection with group-commit write
+// coalescing: the first sender to reach an idle connection writes its
+// frame immediately and becomes the flusher; frames from senders that
+// arrive while that write syscall is in flight accumulate in pending and
+// are flushed together with a single Write once it returns. The flush
+// window is the duration of the in-flight write — coalescing adds no
+// latency when the connection is idle and batches exactly when the
+// connection is the bottleneck.
 type tcpConn struct {
-	c   net.Conn
-	wmu sync.Mutex
+	c net.Conn
+
+	mu       sync.Mutex // guards pending/waiters/flushing
+	flushing bool
+	pending  []byte
+	waiters  []chan error
+
+	wmu sync.Mutex // serialises writes in NoCoalesce mode
 }
 
 // MaxFrame is the largest accepted message frame (1 MiB); VoroNet views
@@ -39,14 +93,22 @@ type tcpConn struct {
 const MaxFrame = 1 << 20
 
 // ListenTCP starts an endpoint on the given address ("127.0.0.1:0" picks a
-// free port).
+// free port) with the default concurrent options.
 func ListenTCP(addr string) (*TCPEndpoint, error) {
+	return ListenTCPOptions(addr, TCPOptions{})
+}
+
+// ListenTCPOptions starts an endpoint with explicit dispatch and write
+// options.
+func ListenTCPOptions(addr string, opts TCPOptions) (*TCPEndpoint, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen: %w", err)
 	}
 	ep := &TCPEndpoint{
 		ln:      ln,
+		opts:    opts,
+		sem:     make(chan struct{}, opts.workers()),
 		conns:   make(map[string]*tcpConn),
 		inbound: make(map[net.Conn]struct{}),
 	}
@@ -93,6 +155,14 @@ func (e *TCPEndpoint) readLoop(c net.Conn) {
 		delete(e.inbound, c)
 		e.mu.Unlock()
 	}()
+
+	// This read loop IS the connection's ordered delivery lane: frames are
+	// handled inline, one at a time, in arrival order. In the default
+	// parallel mode the endpoint semaphore bounds concurrency across
+	// lanes and a handler that stalls blocks only this connection (its
+	// socket buffer and TCP flow control provide the bounded mailbox); in
+	// SerialDispatch mode the legacy global mutex serialises handlers
+	// across all connections.
 	r := bufio.NewReader(c)
 	for {
 		from, payload, err := readFrame(r)
@@ -102,22 +172,32 @@ func (e *TCPEndpoint) readLoop(c net.Conn) {
 		e.mu.Lock()
 		h := e.handler
 		e.mu.Unlock()
-		if h != nil {
+		if h == nil {
+			continue
+		}
+		if e.opts.SerialDispatch {
 			e.dispatch.Lock()
 			h(from, payload)
 			e.dispatch.Unlock()
+		} else {
+			e.sem <- struct{}{}
+			h(from, payload)
+			<-e.sem
 		}
 	}
 }
 
 // Send dials (or reuses) a connection to the peer and writes one frame.
-// Concurrent Sends are safe: frames to the same peer are serialised by a
-// per-connection lock and written with a single Write call.
+// Concurrent Sends are safe: frames to the same peer never interleave
+// their bytes, and unless NoCoalesce is set, frames queued while another
+// frame's write syscall is in flight are flushed together with a single
+// Write (group commit). Send returns once its own frame has been written
+// (or the coalesced write carrying it failed).
 func (e *TCPEndpoint) Send(to string, payload []byte) error {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
-		return errors.New("transport: endpoint closed")
+		return ErrClosed
 	}
 	c, ok := e.conns[to]
 	e.mu.Unlock()
@@ -130,7 +210,7 @@ func (e *TCPEndpoint) Send(to string, payload []byte) error {
 		if e.closed {
 			e.mu.Unlock()
 			nc.Close()
-			return errors.New("transport: endpoint closed")
+			return ErrClosed
 		}
 		if existing, dup := e.conns[to]; dup {
 			nc.Close()
@@ -142,9 +222,14 @@ func (e *TCPEndpoint) Send(to string, payload []byte) error {
 		e.mu.Unlock()
 	}
 	frame := appendFrame(nil, e.Addr(), payload)
-	c.wmu.Lock()
-	_, err := c.c.Write(frame)
-	c.wmu.Unlock()
+	var err error
+	if e.opts.NoCoalesce {
+		c.wmu.Lock()
+		_, err = c.c.Write(frame)
+		c.wmu.Unlock()
+	} else {
+		err = c.writeCoalesced(frame)
+	}
 	if err != nil {
 		e.mu.Lock()
 		if e.conns[to] == c {
@@ -157,8 +242,65 @@ func (e *TCPEndpoint) Send(to string, payload []byte) error {
 	return nil
 }
 
+// writeCoalesced writes one frame with group commit (see tcpConn). It
+// returns the error of the Write call that carried this frame's bytes.
+func (cc *tcpConn) writeCoalesced(frame []byte) error {
+	cc.mu.Lock()
+	if cc.flushing {
+		// A write is in flight: queue behind it and wait for the flush
+		// that carries our bytes.
+		done := make(chan error, 1)
+		cc.pending = append(cc.pending, frame...)
+		cc.waiters = append(cc.waiters, done)
+		cc.mu.Unlock()
+		return <-done
+	}
+	cc.flushing = true
+	cc.mu.Unlock()
+
+	_, err := cc.c.Write(frame)
+	// Anything that queued up behind us is flushed by a dedicated
+	// goroutine, not by looping here: this goroutine is usually a
+	// connection read loop's handler, and under sustained load the
+	// pending buffer can refill faster than it drains — looping would
+	// hold this sender (and its lane, and a dispatch-worker slot)
+	// captive indefinitely. At most one flushPending goroutine exists
+	// per connection, because flushing stays true until it drains.
+	cc.mu.Lock()
+	if len(cc.pending) == 0 {
+		cc.flushing = false
+		cc.mu.Unlock()
+		return err
+	}
+	cc.mu.Unlock()
+	go cc.flushPending()
+	return err
+}
+
+// flushPending drains the pending buffer batch by batch: each batch goes
+// out in one Write and its waiters all observe that write's outcome. It
+// runs until the buffer is empty and then releases the flushing flag.
+func (cc *tcpConn) flushPending() {
+	for {
+		cc.mu.Lock()
+		if len(cc.pending) == 0 {
+			cc.flushing = false
+			cc.mu.Unlock()
+			return
+		}
+		buf, ws := cc.pending, cc.waiters
+		cc.pending, cc.waiters = nil, nil
+		cc.mu.Unlock()
+		_, werr := cc.c.Write(buf)
+		for _, done := range ws {
+			done <- werr
+		}
+	}
+}
+
 // Close shuts the endpoint down, tearing down outbound and inbound
-// connections and waiting for the reader goroutines to drain.
+// connections and waiting for the reader and dispatcher goroutines to
+// drain.
 func (e *TCPEndpoint) Close() error {
 	e.mu.Lock()
 	e.closed = true

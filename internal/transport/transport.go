@@ -31,6 +31,11 @@ type Endpoint interface {
 // ErrUnknownPeer reports a send to an address that is not attached.
 var ErrUnknownPeer = errors.New("transport: unknown peer")
 
+// ErrClosed reports a send through an endpoint that has been closed. Like
+// ErrUnknownPeer it is structural: the message can never be delivered by
+// retrying the same send, so callers must repair instead of retry.
+var ErrClosed = errors.New("transport: endpoint closed")
+
 // Bus is an in-memory simnet. Messages are timestamped in virtual time at
 // Send and delivered by Drain in (delivery time, send sequence) order, so
 // a fault-free bus behaves as a FIFO queue and latency rules reorder
@@ -71,6 +76,11 @@ type Bus struct {
 	linkRules  map[[2]string]LinkRule
 	peerRules  map[string]LinkRule
 	partitions map[string]map[string]int
+
+	// parallelWorkers > 1 switches Drain to the opt-in parallel delivery
+	// mode (see SetParallelDelivery). Zero keeps the deterministic serial
+	// drain that chaos transcripts depend on.
+	parallelWorkers int
 }
 
 // LinkRule describes fault injection for a set of directed links. The zero
@@ -266,11 +276,44 @@ func (b *Bus) partitioned(from, to string) bool {
 	return false
 }
 
+// SetParallelDelivery switches Drain to the opt-in parallel mode: ready
+// messages are handed to handlers concurrently, up to workers goroutines
+// at once, preserving per-destination FIFO order (each destination's
+// messages are delivered in (time, send sequence) order by a single
+// goroutine per round). Handlers must be safe for concurrent invocation.
+//
+// Parallel delivery deliberately gives up transcript determinism: the
+// interleaving of handlers — and therefore the send order of any messages
+// they emit — depends on the scheduler, so chaos transcripts require the
+// default serial mode (workers <= 1 restores it). Fault rules still apply
+// at send time either way; TestBusParallelDrainEquivalence asserts the
+// two modes agree on protocol outcomes on a fault-free bus.
+func (b *Bus) SetParallelDelivery(workers int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if workers <= 1 {
+		b.parallelWorkers = 0
+	} else {
+		b.parallelWorkers = workers
+	}
+}
+
 // Drain delivers queued messages in virtual-time order (including ones
 // enqueued by handlers during the drain) until the queue is empty,
 // advancing the virtual clock to each message's delivery time. It returns
 // the number of messages delivered.
+//
+// In parallel mode (SetParallelDelivery) Drain proceeds in rounds: every
+// message queued at the start of a round is delivered, concurrently
+// across destinations, before the messages those deliveries enqueue are
+// considered.
 func (b *Bus) Drain() int {
+	b.mu.Lock()
+	workers := b.parallelWorkers
+	b.mu.Unlock()
+	if workers > 1 {
+		return b.drainParallel(workers)
+	}
 	n := 0
 	for {
 		b.mu.Lock()
@@ -298,6 +341,64 @@ func (b *Bus) Drain() int {
 	}
 }
 
+// drainParallel delivers rounds of queued messages concurrently across
+// destinations: within a round, each destination's messages keep their
+// (time, send sequence) order and are delivered by one goroutine, while a
+// semaphore bounds how many destinations are being served at once.
+func (b *Bus) drainParallel(workers int) int {
+	n := 0
+	for {
+		b.mu.Lock()
+		if len(b.queue) == 0 {
+			b.mu.Unlock()
+			return n
+		}
+		// Pop the whole round in (time, seq) order, advancing the clock
+		// past every message in it, and resolve handlers while the lock
+		// protects the peer table.
+		type delivery struct {
+			h Handler
+			m busMsg
+		}
+		groups := make(map[string][]delivery)
+		var order []string
+		for len(b.queue) > 0 {
+			m := heap.Pop(&b.queue).(busMsg)
+			if m.at > b.now {
+				b.now = m.at
+			}
+			ep := b.peers[m.to]
+			if ep == nil || ep.handler == nil {
+				b.Dropped++
+				continue
+			}
+			b.Delivered++
+			if _, seen := groups[m.to]; !seen {
+				order = append(order, m.to)
+			}
+			groups[m.to] = append(groups[m.to], delivery{h: ep.handler, m: m})
+		}
+		b.mu.Unlock()
+
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for _, to := range order {
+			msgs := groups[to]
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(msgs []delivery) {
+				defer wg.Done()
+				for _, d := range msgs {
+					d.h(d.m.from, d.m.payload)
+				}
+				<-sem
+			}(msgs)
+			n += len(msgs)
+		}
+		wg.Wait()
+	}
+}
+
 // Pending returns the number of undelivered messages.
 func (b *Bus) Pending() int {
 	b.mu.Lock()
@@ -312,7 +413,7 @@ func (e *busEndpoint) Send(to string, payload []byte) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if e.closed {
-		return errors.New("transport: endpoint closed")
+		return ErrClosed
 	}
 	if _, ok := b.peers[to]; !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownPeer, to)
