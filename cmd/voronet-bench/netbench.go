@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"voronet/internal/geom"
+	"voronet/internal/metrics"
 	"voronet/internal/node"
 	"voronet/internal/proto"
 	"voronet/internal/store"
@@ -147,8 +148,10 @@ func runNetClients(ops int, do func(i int) int) *netPhaseStats {
 }
 
 // runNetTCP builds the loopback TCP overlay under the given dispatch mode
-// and measures the query and GET phases.
-func runNetTCP(mode string, w *netWorkload) (query, get, mixed *netPhaseStats) {
+// and measures the query and GET phases. The returned snapshot merges
+// every node's and endpoint's registry at teardown — frame counts, per-kind
+// message totals, dispatch-wait and latency histograms for the whole run.
+func runNetTCP(mode string, w *netWorkload) (query, get, mixed *netPhaseStats, snap metrics.Snapshot) {
 	opts := transport.TCPOptions{DispatchWorkers: *netWorkers}
 	if mode == "serial" {
 		opts = transport.TCPOptions{SerialDispatch: true, NoCoalesce: true}
@@ -255,14 +258,18 @@ func runNetTCP(mode string, w *netWorkload) (query, get, mixed *netPhaseStats) {
 	close(stop)
 	bgWG.Wait()
 	mixed.bgOps = int(bgPuts.Load())
-	return query, get, mixed
+	for i := range nodes {
+		snap.Merge(nodes[i].Metrics().Snapshot())
+		snap.Merge(eps[i].Metrics().Snapshot())
+	}
+	return query, get, mixed, snap
 }
 
 // runNetSimnet measures the same workload over the in-memory bus: ops are
 // enqueued, then a single Drain (serial or parallel) delivers the whole
 // batch — the measured figure is drain throughput, the simulator's
 // equivalent of dispatch throughput.
-func runNetSimnet(mode string, w *netWorkload) (query *netPhaseStats) {
+func runNetSimnet(mode string, w *netWorkload) (query *netPhaseStats, snap metrics.Snapshot) {
 	bus := transport.NewBus()
 	nodes := make([]*node.Node, 0, *netNodes)
 	for i := 0; i < *netNodes; i++ {
@@ -319,7 +326,11 @@ func runNetSimnet(mode string, w *netWorkload) (query *netPhaseStats) {
 		st.completed++
 		st.sumHops += h
 	}
-	return st
+	snap = bus.MetricsSnapshot()
+	for _, nd := range nodes {
+		snap.Merge(nd.Metrics().Snapshot())
+	}
+	return st, snap
 }
 
 // runNetBench drives both transports under both dispatch modes and
@@ -340,9 +351,11 @@ func runNetBench() {
 	}
 	for _, mode := range []string{"serial", "parallel"} {
 		var q, g, m *netPhaseStats
+		var snap metrics.Snapshot
 		for rep := 0; rep < max(*netReps, 1); rep++ {
-			rq, rg, rm := runNetTCP(mode, w)
+			rq, rg, rm, rs := runNetTCP(mode, w)
 			q, g, m = better(q, rq), better(g, rg), better(m, rm)
+			snap = rs // keep the last rep's books; phases keep their best
 		}
 		tcp[mode] = result{query: q, get: g, mixed: m}
 		line := map[string]any{
@@ -375,6 +388,7 @@ func runNetBench() {
 			"mixed_p50_us":        round3(m.pct(0.50)),
 			"mixed_p95_us":        round3(m.pct(0.95)),
 			"mixed_p99_us":        round3(m.pct(0.99)),
+			"metrics":             snap,
 			"unix_millis":         time.Now().UnixMilli(),
 		}
 		if err := enc.Encode(line); err != nil {
@@ -383,7 +397,7 @@ func runNetBench() {
 	}
 	if *netSimnet {
 		for _, mode := range []string{"serial", "parallel"} {
-			q := runNetSimnet(mode, w)
+			q, snap := runNetSimnet(mode, w)
 			line := map[string]any{
 				"bench":               "net",
 				"transport":           "simnet",
@@ -397,6 +411,7 @@ func runNetBench() {
 				"query_mean_hops":     round3(float64(q.sumHops) / float64(max(q.completed, 1))),
 				"query_sum_hops":      q.sumHops,
 				"query_timeouts":      q.timeouts,
+				"metrics":             snap,
 				"unix_millis":         time.Now().UnixMilli(),
 			}
 			if err := enc.Encode(line); err != nil {

@@ -16,13 +16,20 @@
 //	put X Y VALUE   store VALUE under attribute key (X, Y)
 //	get X Y         fetch the value stored under (X, Y)
 //	del X Y         delete the value stored under (X, Y)
+//	trace X Y       traced GET: print the greedy route hop by hop
 //	store           print the records this node holds
 //	view            print vn / cn / long-link views
+//	metrics         print this node's metric snapshot as JSON
 //	leave           leave the overlay and exit
+//
+// With -debug-addr the node also serves live introspection over HTTP:
+// GET /metrics returns the merged node + transport snapshot as JSON, and
+// /debug/pprof/ exposes the standard Go profiles.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
@@ -33,6 +40,7 @@ import (
 
 	"voronet"
 	"voronet/internal/geom"
+	"voronet/internal/metrics"
 	"voronet/internal/node"
 	"voronet/internal/proto"
 	"voronet/internal/transport"
@@ -47,6 +55,7 @@ var (
 	nmax      = flag.Int("nmax", 100000, "provisioned overlay size (fixes dmin)")
 	links     = flag.Int("k", 1, "long-range links")
 	syncEvery = flag.Duration("sync-interval", 30*time.Second, "anti-entropy replica sweep period (0 disables)")
+	debugAddr = flag.String("debug-addr", "", "serve JSON metrics and pprof on this HTTP address (e.g. 127.0.0.1:6060)")
 )
 
 func main() {
@@ -63,6 +72,16 @@ func main() {
 		Seed:      time.Now().UnixNano(),
 	})
 	fmt.Printf("node %s at (%g, %g)\n", nd.Info().Addr, *x, *y)
+
+	if *debugAddr != "" {
+		dbg, err := metrics.ServeDebug(*debugAddr,
+			nd.Metrics().Snapshot, ep.Metrics().Snapshot)
+		if err != nil {
+			fatal(err)
+		}
+		defer dbg.Close()
+		fmt.Printf("debug endpoint at http://%s/metrics (pprof under /debug/pprof/)\n", dbg.Addr())
+	}
 
 	switch {
 	case *bootstrap:
@@ -183,6 +202,31 @@ func main() {
 				break
 			}
 			fmt.Printf("deleted (%g, %g)\n", key.X, key.Y)
+		case "trace":
+			if len(fields) != 3 {
+				fmt.Println("usage: trace X Y")
+				break
+			}
+			key, err := parseKey(fields[1], fields[2])
+			if err != nil {
+				fmt.Println("trace:", err)
+				break
+			}
+			r, err := nd.GetTraceSync(key)
+			if err != nil {
+				fmt.Println("trace:", err)
+				break
+			}
+			fmt.Printf("route to (%g, %g): %d hops\n", key.X, key.Y, r.Hops)
+			for i, h := range r.Path {
+				fmt.Printf("  %2d. %-22s %-8s +%0.3fms\n", i, h.Addr, h.Rule,
+					float64(h.Nanos)/1e6)
+			}
+			if r.Found {
+				fmt.Printf("answered by %s: %q (v%d)\n", r.Owner.Addr, r.Value, r.Version)
+			} else {
+				fmt.Printf("answered by %s: key not found\n", r.Owner.Addr)
+			}
 		case "store":
 			recs := nd.StoreSnapshot()
 			fmt.Printf("holding %d records (%d live):\n", len(recs), nd.StoreLen())
@@ -207,6 +251,15 @@ func main() {
 				tgt := nd.LongTargets()[j]
 				fmt.Printf("  link %d -> %s (target %g, %g)\n", j, v.Addr, tgt.X, tgt.Y)
 			}
+		case "metrics":
+			snap := nd.Metrics().Snapshot()
+			snap.Merge(ep.Metrics().Snapshot())
+			out, err := json.MarshalIndent(snap, "", "  ")
+			if err != nil {
+				fmt.Println("metrics:", err)
+				break
+			}
+			fmt.Println(string(out))
 		case "leave":
 			if err := nd.Leave(); err != nil {
 				fmt.Println("leave:", err)
@@ -215,7 +268,7 @@ func main() {
 			fmt.Println("left the overlay")
 			return
 		default:
-			fmt.Println("commands: query X Y | put X Y VALUE | get X Y | del X Y | store | view | leave")
+			fmt.Println("commands: query X Y | put X Y VALUE | get X Y | del X Y | trace X Y | store | view | metrics | leave")
 		}
 		fmt.Print("> ")
 	}

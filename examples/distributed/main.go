@@ -54,7 +54,7 @@ func main() {
 		peers = append(peers, nd)
 	}
 	fmt.Printf("%d peers joined; bus delivered %d protocol messages (%.1f per join)\n\n",
-		n, bus.Delivered, float64(bus.Delivered)/float64(n-1))
+		n, bus.DeliveredCount(), float64(bus.DeliveredCount())/float64(n-1))
 
 	// Every peer's view is purely local. Show one.
 	p := peers[17]

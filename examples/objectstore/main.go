@@ -146,5 +146,5 @@ func main() {
 		}
 	}
 	fmt.Printf("deleted %d records; %d of them now answer not-found\n", nKeys/2, misses)
-	fmt.Printf("bus delivered %d messages in total\n", bus.Delivered)
+	fmt.Printf("bus delivered %d messages in total\n", bus.DeliveredCount())
 }

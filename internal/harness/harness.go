@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"voronet/internal/geom"
+	"voronet/internal/metrics"
 	"voronet/internal/node"
 	"voronet/internal/proto"
 	"voronet/internal/stats"
@@ -68,9 +69,15 @@ type Result struct {
 	Checks []CheckReport
 	// Workload counters across all Workload steps.
 	Ops, OpsLost, OpsFailed int
-	// Delivered, Dropped and VirtualTime snapshot the bus at the end.
-	Delivered, Dropped uint64
-	VirtualTime        uint64
+	// Sends, Delivered, Dropped and VirtualTime snapshot the bus at the
+	// end. The run fails unless Sends == Delivered + Dropped (the
+	// message-conservation invariant; a settled run has nothing pending).
+	Sends, Delivered, Dropped uint64
+	VirtualTime               uint64
+	// Metrics is the run-wide metric snapshot: every node's registry
+	// merged with the bus counters. voronet-bench -chaos embeds it in
+	// BENCH_chaos.json.
+	Metrics metrics.Snapshot
 }
 
 // member is one node slot in a run; slots are never reused, so a node's
@@ -158,13 +165,53 @@ func (s Scenario) Run() (*Result, error) {
 			return nil, fmt.Errorf("harness: scenario %s step %d: %w", s.Name, i+1, err)
 		}
 	}
+	r.reconcileMetrics()
 	r.res.Passed = len(r.res.Failures) == 0
-	r.res.Delivered = r.bus.Delivered
-	r.res.Dropped = r.bus.Dropped
+	r.res.Sends = r.bus.SendCount()
+	r.res.Delivered = r.bus.DeliveredCount()
+	r.res.Dropped = r.bus.DroppedCount()
 	r.res.VirtualTime = r.bus.Now()
 	r.tr.logf("end passed=%v failures=%d %s", r.res.Passed, len(r.res.Failures), r.busLine())
 	r.res.Transcript = r.tr.bytes()
 	return r.res, nil
+}
+
+// reconcileMetrics checks the end-of-run message-conservation
+// invariants against the metric registries and builds the run-wide
+// merged snapshot. Two books are kept independently — the bus counts
+// what the network did, each node's registry counts what it asked for —
+// and a run is only healthy when they agree:
+//
+//	bus sends == bus delivered + bus dropped + bus pending
+//	Σ node sent_total − Σ send_self_total − Σ send_errors_total == bus sends
+//
+// (self-sends are delivered in-process without touching the transport;
+// errored sends were refused by the bus and never entered its books).
+func (r *Run) reconcileMetrics() {
+	sends := r.bus.SendCount()
+	delivered := r.bus.DeliveredCount()
+	dropped := r.bus.DroppedCount()
+	pending := uint64(r.bus.Pending())
+	if sends != delivered+dropped+pending {
+		r.fail("bus conservation: sends=%d != delivered=%d + dropped=%d + pending=%d",
+			sends, delivered, dropped, pending)
+	}
+	merged := r.bus.MetricsSnapshot()
+	var sent, self, errs uint64
+	for _, m := range r.members {
+		snap := m.nd.Metrics().Snapshot()
+		sent += snap.Counters["node_sent_total"]
+		self += snap.Counters["node_send_self_total"]
+		errs += snap.Counters["node_send_errors_total"]
+		merged.Merge(snap)
+	}
+	if sent-self-errs != sends {
+		r.fail("node/bus reconciliation: Σsent=%d − Σself=%d − Σerrors=%d = %d != bus sends=%d",
+			sent, self, errs, sent-self-errs, sends)
+	}
+	r.res.Metrics = merged
+	r.tr.logf("metrics sends=%d delivered=%d dropped=%d pending=%d node_sent=%d self=%d errors=%d",
+		sends, delivered, dropped, pending, sent, self, errs)
 }
 
 // live returns the live members in index order.
@@ -189,7 +236,8 @@ func (r *Run) liveNodes() []*node.Node {
 
 // busLine renders the bus counters for transcript lines.
 func (r *Run) busLine() string {
-	return fmt.Sprintf("delivered=%d dropped=%d vt=%d", r.bus.Delivered, r.bus.Dropped, r.bus.Now())
+	return fmt.Sprintf("delivered=%d dropped=%d vt=%d",
+		r.bus.DeliveredCount(), r.bus.DroppedCount(), r.bus.Now())
 }
 
 // fail records one expectation violation (the run keeps going: a scenario

@@ -1,6 +1,8 @@
 package node
 
 import (
+	"time"
+
 	"voronet/internal/geom"
 	"voronet/internal/proto"
 )
@@ -19,11 +21,13 @@ import (
 // address is a no-op, which also bounds the recursion when repair gossip
 // itself hits further dead peers.
 func (n *Node) NotifyDeparted(addr string) {
+	start := time.Now()
 	n.mu.Lock()
 	if !n.joined || addr == n.self.Addr || n.tombs[addr] {
 		n.mu.Unlock()
 		return
 	}
+	defer func() { n.nm.departTime.Observe(time.Since(start).Seconds()) }()
 	gone, wasVN := n.vn[addr]
 	n.tombstoneLocked(addr)
 	// Build the pool before dropping the dead peer's list: its old

@@ -3,6 +3,7 @@ package node
 import (
 	"math"
 	"sort"
+	"time"
 
 	"voronet/internal/geom"
 	"voronet/internal/proto"
@@ -18,6 +19,7 @@ import (
 func (n *Node) handle(from string, payload []byte) {
 	env, err := proto.Decode(payload)
 	if err != nil {
+		n.nm.decodeErrs.Inc()
 		return // malformed frame: drop
 	}
 	n.deliver(env)
@@ -27,6 +29,9 @@ func (n *Node) handle(from string, payload []byte) {
 // inject envelopes that the wire decoder would reject, proving the
 // defence-in-depth guards below hold on their own).
 func (n *Node) deliver(env *proto.Envelope) {
+	if env.Type >= 0 && env.Type < proto.KindCount {
+		n.nm.recvByKind[env.Type].Inc()
+	}
 	// Tombstone bookkeeping needs the write lock, but the overwhelmingly
 	// common case — no departures advertised, sender not tombstoned — can
 	// establish under the read lock that there is nothing to do.
@@ -162,12 +167,14 @@ func (n *Node) deliver(env *proto.Envelope) {
 		n.queryMu.Unlock()
 		if pq != nil {
 			pq.timer.Stop()
-			pq.cb(env.From, env.Hops)
+			n.nm.queryLatency.Observe(time.Since(pq.start).Seconds())
+			n.nm.queryHops.Observe(float64(env.Hops))
+			pq.cb(env.From, env.Hops, env.Path)
 		}
 	case proto.KindStoreReply:
 		n.inflight.Resolve(env.QueryID, store.Reply{
 			Found: env.Found, Value: env.Value, Version: env.Version,
-			Owner: env.From, Hops: env.Hops,
+			Owner: env.From, Hops: env.Hops, Path: env.Path,
 		})
 	case proto.KindReplicaSync:
 		n.handleReplicaSync(env)
@@ -180,12 +187,23 @@ func (n *Node) deliver(env *proto.Envelope) {
 // over the view — concurrent routed messages scan under the shared read
 // lock and never wait on each other.
 func (n *Node) handleRoute(env *proto.Envelope) {
+	var hopStart time.Time
+	if env.Trace {
+		hopStart = time.Now()
+		n.nm.traced.Inc()
+	}
 	// A GET is answered by the first node on the greedy path holding the
 	// key — owner or replica; a tombstone answers "deleted" with equal
 	// authority. The rank check keeps nodes that dropped out of the key's
 	// replica set under churn from serving stale versions.
 	if env.Purpose == proto.PurposeStoreGet && n.Joined() {
 		if rec, ok := n.kv.Lookup(env.Target); ok && n.inReplicaSet(env.Target) {
+			if env.Trace {
+				hit := *env
+				hit.Path = proto.AppendHop(env.Path, n.traceHop("replica", hopStart))
+				n.replyStoreHit(&hit, rec)
+				return
+			}
 			n.replyStoreHit(env, rec)
 			return
 		}
@@ -199,7 +217,11 @@ func (n *Node) handleRoute(env *proto.Envelope) {
 	}
 	best := n.self
 	bestD := geom.Dist2(n.self.Pos, env.Target)
-	consider := func(c proto.NodeInfo) {
+	// bestRule names the candidate class the winning next hop came from —
+	// the per-hop trace's routing rule ("owner" when no candidate beats
+	// self).
+	bestRule := "owner"
+	consider := func(c proto.NodeInfo, class string) {
 		if c.Addr == "" || c.Addr == n.self.Addr || n.tombs[c.Addr] {
 			return
 		}
@@ -210,16 +232,17 @@ func (n *Node) handleRoute(env *proto.Envelope) {
 		// order, a requirement for replayable chaos transcripts.
 		if d < bestD || (d == bestD && best.Addr != n.self.Addr && c.Addr < best.Addr) {
 			best, bestD = c, d
+			bestRule = class
 		}
 	}
 	for _, v := range n.vn {
-		consider(v)
+		consider(v, "vn")
 	}
 	for _, c := range n.cn {
-		consider(c)
+		consider(c, "cn")
 	}
 	for _, l := range n.longNbrs {
-		consider(l)
+		consider(l, "long")
 	}
 	n.mu.RUnlock()
 
@@ -227,6 +250,11 @@ func (n *Node) handleRoute(env *proto.Envelope) {
 		fwd := *env
 		fwd.Hops++
 		fwd.From = n.self
+		if fwd.Trace {
+			// Copy-append: fwd shares env's Path backing array, and the
+			// departure-repair retry below re-traces from env.
+			fwd.Path = proto.AppendHop(env.Path, n.traceHop(bestRule, hopStart))
+		}
 		if err := n.sendWithRetry(best.Addr, &fwd); err != nil {
 			// The chosen next hop is unreachable at the transport level —
 			// it crashed without a leave announcement. Repair the views
@@ -238,7 +266,13 @@ func (n *Node) handleRoute(env *proto.Envelope) {
 		return
 	}
 
-	// We own the target's region.
+	// We own the target's region; a traced envelope records the terminal
+	// hop and the answer carries the whole path back to the origin.
+	if env.Trace {
+		owned := *env
+		owned.Path = proto.AppendHop(env.Path, n.traceHop("owner", hopStart))
+		env = &owned
+	}
 	switch env.Purpose {
 	case proto.PurposeJoin:
 		n.admitJoin(env)
@@ -251,7 +285,8 @@ func (n *Node) handleRoute(env *proto.Envelope) {
 		})
 	case proto.PurposeQuery:
 		n.sendWithRetry(env.Origin.Addr, &proto.Envelope{
-			Type: proto.KindQueryAnswer, From: n.self, QueryID: env.QueryID, Hops: env.Hops,
+			Type: proto.KindQueryAnswer, From: n.self, QueryID: env.QueryID,
+			Hops: env.Hops, Path: env.Path,
 		})
 	case proto.PurposeRange:
 		n.startRangeFlood(env)
@@ -260,11 +295,20 @@ func (n *Node) handleRoute(env *proto.Envelope) {
 	}
 }
 
+// traceHop builds this node's entry for a traced envelope's path. The
+// latency is the wall time the hop spent in handleRoute; under the
+// serial simnet the (Addr, Rule) sequence is deterministic, Nanos is not.
+func (n *Node) traceHop(rule string, start time.Time) proto.TraceHop {
+	return proto.TraceHop{Addr: n.self.Addr, Rule: rule, Nanos: time.Since(start).Nanoseconds()}
+}
+
 // admitJoin is AddVoronoiRegion (§4.2.1) executed at the owner of the
 // joining object's region: recompute the local tessellation with the new
 // object, grant the joiner its view, and tell every affected neighbour to
 // insert the newcomer and recompute.
 func (n *Node) admitJoin(env *proto.Envelope) {
+	start := time.Now()
+	defer func() { n.nm.joinAdmitTime.Observe(time.Since(start).Seconds()) }()
 	j := env.Origin
 
 	n.mu.Lock()
@@ -310,11 +354,13 @@ func (n *Node) admitJoin(env *proto.Envelope) {
 // finishes the join: announce our neighbour list, then establish the long
 // links (Algorithm 2).
 func (n *Node) handleJoinGrant(env *proto.Envelope) {
+	start := time.Now()
 	n.mu.Lock()
 	if n.joined {
 		n.mu.Unlock()
 		return
 	}
+	defer func() { n.nm.joinGrantTime.Observe(time.Since(start).Seconds()) }()
 	n.joined = true
 	for _, v := range env.Neighbors {
 		n.vn[v.Addr] = v
@@ -565,6 +611,7 @@ func (n *Node) sendBackMoves(moves []backMove) {
 				retry = append(retry, mv.ref)
 				continue
 			}
+			n.nm.backMoves.Inc()
 			// An unreachable origin keeps a stale pointer; it repairs
 			// itself when it next routes through the dead holder.
 			_ = n.send(mv.ref.Origin.Addr, &proto.Envelope{

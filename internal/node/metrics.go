@@ -1,0 +1,119 @@
+package node
+
+import (
+	"voronet/internal/metrics"
+	"voronet/internal/proto"
+)
+
+// nodeMetrics caches every instrument the node's hot paths touch, so a
+// message send or receive costs a few atomic ops and never a registry
+// map lookup. The registry itself is always present (New builds one);
+// the instruments are pointers so the struct is cheap to embed.
+//
+// Naming: node_* for protocol counters, store_* for the object-store
+// face, with per-kind counters node_send_<kind>_total /
+// node_recv_<kind>_total derived from proto.Kind.String().
+type nodeMetrics struct {
+	reg *metrics.Registry
+
+	sent     *metrics.Counter // node_sent_total: every send() call (cost accounting)
+	sendSelf *metrics.Counter // node_send_self_total: delivered in-process, bypassing the transport
+	sendErrs *metrics.Counter // node_send_errors_total: transport refused the frame
+	retries  *metrics.Counter // node_send_retries_total: second attempts by sendWithRetry
+
+	decodeErrs *metrics.Counter // node_decode_errors_total: malformed inbound frames dropped
+
+	sentByKind [proto.KindCount]*metrics.Counter
+	recvByKind [proto.KindCount]*metrics.Counter
+
+	queryLatency  *metrics.Histogram // node_query_seconds: Query round trip
+	queryHops     *metrics.Histogram // node_query_hops: answered greedy route length
+	queryTimeouts *metrics.Counter   // node_query_timeouts_total
+
+	storePutLatency *metrics.Histogram // store_put_seconds etc.: routed op round trip
+	storeGetLatency *metrics.Histogram
+	storeDelLatency *metrics.Histogram
+	storePutHops    *metrics.Histogram // store_put_hops etc.: request route length
+	storeGetHops    *metrics.Histogram
+	storeDelHops    *metrics.Histogram
+	storeTimeouts   *metrics.Counter // store_timeouts_total
+
+	// View-surgery timings (the paper's AddVoronoiRegion /
+	// RemoveVoronoiRegion executions) and BLRn maintenance volume.
+	joinAdmitTime *metrics.Histogram // node_join_admit_seconds: owner-side admission
+	joinGrantTime *metrics.Histogram // node_join_grant_seconds: joiner-side view install
+	leaveTime     *metrics.Histogram // node_leave_seconds: graceful departure surgery
+	departTime    *metrics.Histogram // node_depart_repair_seconds: crash repair surgery
+	backMoves     *metrics.Counter   // node_blrn_moves_total: BLRn entries re-placed
+
+	traced *metrics.Counter // node_traced_routes_total: envelopes handled with Trace set
+}
+
+func newNodeMetrics() nodeMetrics {
+	r := metrics.NewRegistry()
+	lat := metrics.LatencyBuckets()
+	hops := metrics.HopBuckets()
+	nm := nodeMetrics{
+		reg:             r,
+		sent:            r.Counter("node_sent_total"),
+		sendSelf:        r.Counter("node_send_self_total"),
+		sendErrs:        r.Counter("node_send_errors_total"),
+		retries:         r.Counter("node_send_retries_total"),
+		decodeErrs:      r.Counter("node_decode_errors_total"),
+		queryLatency:    r.Histogram("node_query_seconds", lat),
+		queryHops:       r.Histogram("node_query_hops", hops),
+		queryTimeouts:   r.Counter("node_query_timeouts_total"),
+		storePutLatency: r.Histogram("store_put_seconds", lat),
+		storeGetLatency: r.Histogram("store_get_seconds", lat),
+		storeDelLatency: r.Histogram("store_delete_seconds", lat),
+		storePutHops:    r.Histogram("store_put_hops", hops),
+		storeGetHops:    r.Histogram("store_get_hops", hops),
+		storeDelHops:    r.Histogram("store_delete_hops", hops),
+		storeTimeouts:   r.Counter("store_timeouts_total"),
+		joinAdmitTime:   r.Histogram("node_join_admit_seconds", lat),
+		joinGrantTime:   r.Histogram("node_join_grant_seconds", lat),
+		leaveTime:       r.Histogram("node_leave_seconds", lat),
+		departTime:      r.Histogram("node_depart_repair_seconds", lat),
+		backMoves:       r.Counter("node_blrn_moves_total"),
+		traced:          r.Counter("node_traced_routes_total"),
+	}
+	for k := proto.Kind(0); k < proto.KindCount; k++ {
+		nm.sentByKind[k] = r.Counter("node_send_" + k.String() + "_total")
+		nm.recvByKind[k] = r.Counter("node_recv_" + k.String() + "_total")
+	}
+	return nm
+}
+
+// storeLatencyFor / storeHopsFor select the per-purpose instruments of a
+// routed store operation.
+func (nm *nodeMetrics) storeLatencyFor(p proto.RoutedPurpose) *metrics.Histogram {
+	switch p {
+	case proto.PurposeStorePut:
+		return nm.storePutLatency
+	case proto.PurposeStoreGet:
+		return nm.storeGetLatency
+	default:
+		return nm.storeDelLatency
+	}
+}
+
+func (nm *nodeMetrics) storeHopsFor(p proto.RoutedPurpose) *metrics.Histogram {
+	switch p {
+	case proto.PurposeStorePut:
+		return nm.storePutHops
+	case proto.PurposeStoreGet:
+		return nm.storeGetHops
+	default:
+		return nm.storeDelHops
+	}
+}
+
+// Metrics returns the node's instrument registry. It is always non-nil;
+// snapshot it with Metrics().Snapshot() or merge it into a debug
+// endpoint (see cmd/voronet-node's -debug-addr).
+func (n *Node) Metrics() *metrics.Registry { return n.nm.reg }
+
+// SentCount returns the number of protocol messages this node has sent
+// (the old Node.Sent counter, now backed by the registry's
+// node_sent_total so cost accounting and metrics cannot diverge).
+func (n *Node) SentCount() uint64 { return n.nm.sent.Value() }

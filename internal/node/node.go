@@ -32,7 +32,6 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"voronet/internal/delaunay"
@@ -131,16 +130,20 @@ type Node struct {
 	kv       *store.Local
 	inflight *store.Inflight
 
-	// Sent counts outbound protocol messages (cost accounting).
-	Sent atomic.Uint64
+	// nm caches the node's metric instruments (see metrics.go); the
+	// registry is exposed via Metrics() and the legacy Sent counter via
+	// SentCount().
+	nm nodeMetrics
 }
 
 // pendingQuery is one registered Query callback and the deadline timer
 // that reaps it if the answer never arrives (the owner crashed
 // mid-query): without the timer the entry — and everything the callback
-// closure captures — would leak forever.
+// closure captures — would leak forever. start feeds the query-latency
+// histogram; path is nil unless the query was traced.
 type pendingQuery struct {
-	cb    func(owner proto.NodeInfo, hops int)
+	cb    func(owner proto.NodeInfo, hops int, path []proto.TraceHop)
+	start time.Time
 	timer *time.Timer
 }
 
@@ -207,6 +210,7 @@ func New(ep transport.Endpoint, pos geom.Point, cfg Config) *Node {
 		rangeSeen: make(map[rangeKey]bool),
 		kv:        store.NewLocal(),
 		inflight:  store.NewInflight(),
+		nm:        newNodeMetrics(),
 	}
 	ep.SetHandler(n.handle)
 	return n
@@ -308,6 +312,20 @@ func (n *Node) Join(via string) error {
 // answer was lost — cb fires exactly once with the zero NodeInfo and
 // HopsTimedOut, and the registration is reaped rather than leaked.
 func (n *Node) Query(p geom.Point, cb func(owner proto.NodeInfo, hops int)) error {
+	return n.query(p, false, func(owner proto.NodeInfo, hops int, _ []proto.TraceHop) {
+		cb(owner, hops)
+	})
+}
+
+// QueryTrace is Query with per-hop tracing: the envelope travels with
+// Trace set, every node on the greedy path appends one proto.TraceHop,
+// and cb additionally receives the accumulated path (ending with the
+// owner's terminal hop). On timeout the path is nil.
+func (n *Node) QueryTrace(p geom.Point, cb func(owner proto.NodeInfo, hops int, path []proto.TraceHop)) error {
+	return n.query(p, true, cb)
+}
+
+func (n *Node) query(p geom.Point, trace bool, cb func(owner proto.NodeInfo, hops int, path []proto.TraceHop)) error {
 	n.mu.RLock()
 	if !n.joined {
 		n.mu.RUnlock()
@@ -317,7 +335,7 @@ func (n *Node) Query(p geom.Point, cb func(owner proto.NodeInfo, hops int)) erro
 	n.queryMu.Lock()
 	n.querySeq++
 	id := n.querySeq
-	pq := &pendingQuery{cb: cb}
+	pq := &pendingQuery{cb: cb, start: time.Now()}
 	pq.timer = time.AfterFunc(n.cfg.QueryTimeout, func() {
 		n.queryMu.Lock()
 		reaped := n.queries[id] == pq
@@ -326,7 +344,8 @@ func (n *Node) Query(p geom.Point, cb func(owner proto.NodeInfo, hops int)) erro
 		}
 		n.queryMu.Unlock()
 		if reaped {
-			cb(proto.NodeInfo{}, HopsTimedOut)
+			n.nm.queryTimeouts.Inc()
+			cb(proto.NodeInfo{}, HopsTimedOut, nil)
 		}
 	})
 	n.queries[id] = pq
@@ -337,6 +356,7 @@ func (n *Node) Query(p geom.Point, cb func(owner proto.NodeInfo, hops int)) erro
 		Target:  p,
 		Origin:  n.self,
 		QueryID: id,
+		Trace:   trace,
 	}
 	// Start routing at ourselves.
 	n.handle(n.self.Addr, mustEncode(env))
@@ -348,11 +368,13 @@ func (n *Node) Query(p geom.Point, cb func(owner proto.NodeInfo, hops int)) erro
 // neighbour of each target, withdraws its own links and informs its close
 // neighbours (§4.2.2).
 func (n *Node) Leave() error {
+	start := time.Now()
 	n.mu.Lock()
 	if !n.joined {
 		n.mu.Unlock()
 		return ErrNotJoined
 	}
+	defer func() { n.nm.leaveTime.Observe(time.Since(start).Seconds()) }()
 	n.joined = false
 
 	type outMsg struct {
@@ -472,13 +494,19 @@ func (n *Node) send(to string, env *proto.Envelope) error {
 	if err != nil {
 		return err
 	}
-	n.Sent.Add(1)
+	n.nm.sent.Inc()
+	n.nm.sentByKind[env.Type].Inc()
 	if to == n.self.Addr {
 		// Local delivery without the transport.
+		n.nm.sendSelf.Inc()
 		n.handle(n.self.Addr, b)
 		return nil
 	}
-	return n.ep.Send(to, b)
+	if err := n.ep.Send(to, b); err != nil {
+		n.nm.sendErrs.Inc()
+		return err
+	}
+	return nil
 }
 
 // sendWithRetry sends env to `to`, retrying exactly once on a transient
@@ -493,6 +521,7 @@ func (n *Node) sendWithRetry(to string, env *proto.Envelope) error {
 	if err == nil || errors.Is(err, transport.ErrUnknownPeer) || errors.Is(err, transport.ErrClosed) {
 		return err
 	}
+	n.nm.retries.Inc()
 	return n.send(to, env)
 }
 

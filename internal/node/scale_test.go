@@ -55,16 +55,16 @@ func TestJoinMessageCostIsConstant(t *testing.T) {
 		t.Skip("short mode")
 	}
 	c := newCluster(t, 40, 0.02, 78)
-	before := c.bus.Delivered
+	before := c.bus.DeliveredCount()
 	c.addNode(t, geom.Pt(c.rng.Float64(), c.rng.Float64()), 0.02)
-	costAt40 := c.bus.Delivered - before
+	costAt40 := c.bus.DeliveredCount() - before
 
 	for len(c.nodes) < 160 {
 		c.addNode(t, geom.Pt(c.rng.Float64(), c.rng.Float64()), 0.02)
 	}
-	before = c.bus.Delivered
+	before = c.bus.DeliveredCount()
 	c.addNode(t, geom.Pt(c.rng.Float64(), c.rng.Float64()), 0.02)
-	costAt160 := c.bus.Delivered - before
+	costAt160 := c.bus.DeliveredCount() - before
 
 	// Routing adds O(log^2 n) and maintenance O(1); a 4x size increase must
 	// not multiply the message cost (allow generous headroom for routing

@@ -3,6 +3,7 @@ package node
 import (
 	"math"
 	"sort"
+	"time"
 
 	"voronet/internal/geom"
 	"voronet/internal/proto"
@@ -64,7 +65,24 @@ func (n *Node) Delete(key geom.Point, cb func(store.Reply)) error {
 	return n.storeOp(proto.PurposeStoreDelete, key, nil, cb)
 }
 
+// GetTrace is Get with per-hop tracing: the request travels with Trace
+// set, every node on the greedy path appends one proto.TraceHop, and
+// the reply's Path holds the full route, ending with the answering
+// owner ("owner") or on-path replica ("replica").
+func (n *Node) GetTrace(key geom.Point, cb func(store.Reply)) error {
+	return n.storeOpTraced(proto.PurposeStoreGet, key, nil, cb, true)
+}
+
+// GetTraceSync is GetTrace blocking until the reply (or timeout).
+func (n *Node) GetTraceSync(key geom.Point) (store.Reply, error) {
+	return n.waitOp(func(cb func(store.Reply)) error { return n.GetTrace(key, cb) })
+}
+
 func (n *Node) storeOp(purpose proto.RoutedPurpose, key geom.Point, value []byte, cb func(store.Reply)) error {
+	return n.storeOpTraced(purpose, key, value, cb, false)
+}
+
+func (n *Node) storeOpTraced(purpose proto.RoutedPurpose, key geom.Point, value []byte, cb func(store.Reply), trace bool) error {
 	if purpose == proto.PurposeStorePut && len(value) > store.MaxValueBytes {
 		// Reject loudly: an oversized envelope would be dropped by the
 		// frame decoder and the operation would hang until its timeout.
@@ -80,7 +98,21 @@ func (n *Node) storeOp(purpose proto.RoutedPurpose, key geom.Point, value []byte
 	if cb == nil {
 		cb = func(store.Reply) {}
 	}
-	id := n.inflight.Add(cb, timeout)
+	// Observe the op's round trip and route length on the way back to
+	// the caller; a timeout (or any error reply) counts separately and
+	// stays out of the latency book.
+	start := time.Now()
+	inner := cb
+	instrumented := func(r store.Reply) {
+		if r.Err == nil {
+			n.nm.storeLatencyFor(purpose).Observe(time.Since(start).Seconds())
+			n.nm.storeHopsFor(purpose).Observe(float64(r.Hops))
+		} else {
+			n.nm.storeTimeouts.Inc()
+		}
+		inner(r)
+	}
+	id := n.inflight.Add(instrumented, timeout)
 	env := &proto.Envelope{
 		Type:    proto.KindRoute,
 		Purpose: purpose,
@@ -88,6 +120,7 @@ func (n *Node) storeOp(purpose proto.RoutedPurpose, key geom.Point, value []byte
 		Value:   value,
 		Origin:  n.self,
 		QueryID: id,
+		Trace:   trace,
 	}
 	// Start routing at ourselves (we may already own the key's region).
 	n.handle(n.self.Addr, mustEncode(env))
@@ -252,7 +285,12 @@ func ownerForKey(self proto.NodeInfo, vns []proto.NodeInfo, key geom.Point) (pro
 // handleStoreOwned executes a routed store operation at the owner of the
 // key's region (no neighbour is closer to the key).
 func (n *Node) handleStoreOwned(env *proto.Envelope) {
-	reply := &proto.Envelope{Type: proto.KindStoreReply, From: n.self, QueryID: env.QueryID, Hops: env.Hops}
+	// env.Path already ends with this node's terminal hop (handleRoute
+	// appended it before dispatching here); the reply carries it home.
+	reply := &proto.Envelope{
+		Type: proto.KindStoreReply, From: n.self, QueryID: env.QueryID,
+		Hops: env.Hops, Path: env.Path,
+	}
 	switch env.Purpose {
 	case proto.PurposeStorePut:
 		rec := n.kv.Put(env.Target, env.Value)
@@ -280,7 +318,10 @@ func (n *Node) handleStoreOwned(env *proto.Envelope) {
 // replyStoreHit answers a GET from this node's local record (owner or
 // replica on the greedy path). A tombstone is an authoritative miss.
 func (n *Node) replyStoreHit(env *proto.Envelope, rec proto.StoreRecord) {
-	reply := &proto.Envelope{Type: proto.KindStoreReply, From: n.self, QueryID: env.QueryID, Hops: env.Hops}
+	reply := &proto.Envelope{
+		Type: proto.KindStoreReply, From: n.self, QueryID: env.QueryID,
+		Hops: env.Hops, Path: env.Path,
+	}
 	if !rec.Deleted {
 		reply.Found = true
 		reply.Value = rec.Value

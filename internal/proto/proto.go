@@ -81,7 +81,41 @@ const (
 	// Handoff set — a primary-ownership transfer that obliges the
 	// recipient to re-replicate in turn.
 	KindReplicaSync
+
+	// KindCount is the number of message kinds; per-kind metric arrays
+	// are sized with it. Keep it last.
+	KindCount
 )
+
+// kindNames must track the Kind constants above; metric names derive
+// from these, so they are lower_snake_case.
+var kindNames = [KindCount]string{
+	KindRoute:          "route",
+	KindJoinGrant:      "join_grant",
+	KindSetNeighbors:   "set_neighbors",
+	KindNeighborList:   "neighbor_list",
+	KindCNAdd:          "cn_add",
+	KindCNRemove:       "cn_remove",
+	KindLongLinkGrant:  "long_link_grant",
+	KindBackTransfer:   "back_transfer",
+	KindLongLinkUpdate: "long_link_update",
+	KindLeave:          "leave",
+	KindLeaveCN:        "leave_cn",
+	KindQueryAnswer:    "query_answer",
+	KindBackWithdraw:   "back_withdraw",
+	KindRangeForward:   "range_forward",
+	KindRangeHit:       "range_hit",
+	KindStoreReply:     "store_reply",
+	KindReplicaSync:    "replica_sync",
+}
+
+// String names a kind for metrics and diagnostics.
+func (k Kind) String() string {
+	if k >= 0 && k < KindCount {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind_%d", int(k))
+}
 
 // RoutedPurpose says why a KindRoute message is travelling.
 type RoutedPurpose int
@@ -110,6 +144,24 @@ const (
 	// tombstones the record and replicates the tombstone.
 	PurposeStoreDelete
 )
+
+// TraceHop is one hop of a per-hop routing trace: the address of the
+// node that handled the envelope, the rule that chose the next hop (or
+// terminated the route), and the wall-clock nanoseconds the hop spent in
+// the handler. Rules are "vn" / "cn" / "long" for a greedy forward via
+// that candidate class, "owner" when the handler owned the target, and
+// "replica" when a store read was answered from a passing replica.
+// Addr+Rule are deterministic under the serial simnet; Nanos is wall
+// time and is not.
+type TraceHop struct {
+	Addr  string
+	Rule  string
+	Nanos int64
+}
+
+// MaxTracePath bounds an accepted trace path. Greedy routes are
+// O(log²N) hops; anything longer than this is garbage or an attack.
+const MaxTracePath = 4096
 
 // BackEntry is one BLRn element on the wire: the origin object, which of
 // its links this is, and the link's immutable target point.
@@ -153,6 +205,12 @@ type Envelope struct {
 	Link    int        // long-link index for PurposeLongLink
 	Hops    int        // accumulated Greedyneighbour count
 	QueryID uint64     // correlates PurposeQuery with KindQueryAnswer
+
+	// Tracing (KindRoute with Trace set; Path rides the answer home on
+	// KindQueryAnswer / KindStoreReply). Each node on the greedy path
+	// appends one TraceHop; see DESIGN.md §Observability.
+	Trace bool
+	Path  []TraceHop
 
 	// Views (KindJoinGrant, KindSetNeighbors, KindNeighborList).
 	Neighbors []NodeInfo       // new vn list for the recipient
@@ -225,5 +283,19 @@ func (e *Envelope) validate() error {
 			return fmt.Errorf("proto: decode: negative Back[%d].Link %d", i, e.Back[i].Link)
 		}
 	}
+	if len(e.Path) > MaxTracePath {
+		return fmt.Errorf("proto: decode: trace path of %d hops exceeds %d", len(e.Path), MaxTracePath)
+	}
 	return nil
+}
+
+// AppendHop returns Path extended with one hop, always in fresh backing
+// storage. Forwarding copies envelopes by value (fwd := *env), which
+// aliases the Path backing array between the original and the copy; a
+// plain append could then write one branch's hop into another's slice.
+func AppendHop(path []TraceHop, hop TraceHop) []TraceHop {
+	out := make([]TraceHop, len(path)+1)
+	copy(out, path)
+	out[len(path)] = hop
+	return out
 }

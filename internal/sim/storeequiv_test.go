@@ -186,7 +186,7 @@ func TestStoreEquivalenceUnderChurn(t *testing.T) {
 	// Equivalence only means anything on a loss-free network: if the
 	// fault-free bus dropped a single message, the comparison above
 	// validated a degraded run, not the protocol.
-	if bus.Dropped != 0 {
-		t.Fatalf("fault-free equivalence run dropped %d messages", bus.Dropped)
+	if bus.DroppedCount() != 0 {
+		t.Fatalf("fault-free equivalence run dropped %d messages", bus.DroppedCount())
 	}
 }

@@ -21,6 +21,10 @@ type Reply struct {
 	Owner proto.NodeInfo
 	// Hops is the greedy route length the request travelled.
 	Hops int
+	// Path is the per-hop routing trace, populated only for traced
+	// operations (Node.GetTrace): one entry per node the request
+	// visited, ending with the answering owner or replica.
+	Path []proto.TraceHop
 	// Err is ErrTimeout when the reply deadline passed, nil otherwise.
 	Err error
 }

@@ -75,7 +75,7 @@ func TestSimnetSeededDropsAreDeterministic(t *testing.T) {
 			}
 		}
 		bus.Drain()
-		return bus.Delivered, bus.Dropped, *got
+		return bus.DeliveredCount(), bus.DroppedCount(), *got
 	}
 	d1, x1, g1 := run(42)
 	d2, x2, g2 := run(42)
@@ -116,8 +116,8 @@ func TestSimnetOneWayLinkFailure(t *testing.T) {
 	if len(fromB) != 1 || fromB[0] != "returned" {
 		t.Fatalf("b→a direction affected: %v", fromB)
 	}
-	if bus.Dropped != 1 {
-		t.Fatalf("Dropped=%d, want 1", bus.Dropped)
+	if bus.DroppedCount() != 1 {
+		t.Fatalf("Dropped=%d, want 1", bus.DroppedCount())
 	}
 }
 
@@ -147,8 +147,8 @@ func TestSimnetScheduledOutageWindow(t *testing.T) {
 	if len(*got) != 2 || (*got)[0] != want[0] || (*got)[1] != want[1] {
 		t.Fatalf("outage window delivered %v, want %v", *got, want)
 	}
-	if bus.Dropped != 2 {
-		t.Fatalf("Dropped=%d, want 2", bus.Dropped)
+	if bus.DroppedCount() != 2 {
+		t.Fatalf("Dropped=%d, want 2", bus.DroppedCount())
 	}
 }
 
@@ -176,8 +176,8 @@ func TestSimnetPartitionAndHeal(t *testing.T) {
 	if len(recv["e1"]) != 0 {
 		t.Fatalf("cross-partition message delivered: %v", recv["e1"])
 	}
-	if bus.Dropped != 1 {
-		t.Fatalf("Dropped=%d, want 1", bus.Dropped)
+	if bus.DroppedCount() != 1 {
+		t.Fatalf("Dropped=%d, want 1", bus.DroppedCount())
 	}
 	bus.HealPartition("split")
 	eps["w1"].Send("e1", []byte("healed"))
@@ -195,8 +195,8 @@ func TestSimnetCrashedDestinationCountsDropped(t *testing.T) {
 	}
 	b.Close() // crash with the message queued
 	bus.Drain()
-	if bus.Dropped != 1 || bus.Delivered != 0 {
-		t.Fatalf("Delivered=%d Dropped=%d, want 0/1", bus.Delivered, bus.Dropped)
+	if bus.DroppedCount() != 1 || bus.DeliveredCount() != 0 {
+		t.Fatalf("Delivered=%d Dropped=%d, want 0/1", bus.DeliveredCount(), bus.DroppedCount())
 	}
 	// After the crash, sends to the address fail structurally.
 	if err := a.Send("b", []byte("late")); err == nil {

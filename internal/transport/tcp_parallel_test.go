@@ -275,8 +275,8 @@ func TestBusParallelDrainFIFOAndCounts(t *testing.T) {
 	if n != receivers*perReceiver {
 		t.Fatalf("parallel drain delivered %d, want %d", n, receivers*perReceiver)
 	}
-	if bus.Delivered != uint64(receivers*perReceiver) {
-		t.Fatalf("Delivered counter %d, want %d", bus.Delivered, receivers*perReceiver)
+	if bus.DeliveredCount() != uint64(receivers*perReceiver) {
+		t.Fatalf("Delivered counter %d, want %d", bus.DeliveredCount(), receivers*perReceiver)
 	}
 	for addr, got := range seqs {
 		if len(got) != perReceiver {

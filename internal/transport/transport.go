@@ -10,6 +10,9 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
+
+	"voronet/internal/metrics"
 )
 
 // Handler processes an inbound message.
@@ -48,7 +51,7 @@ var ErrClosed = errors.New("transport: endpoint closed")
 // SetDefaultRule to everything else. Named partitions drop messages that
 // cross group boundaries until healed. Faults never surface as Send
 // errors: like a real lossy network, the message silently disappears (and
-// the Dropped counter increments). Send errors are reserved for structural
+// DroppedCount increments). Send errors are reserved for structural
 // conditions — a closed endpoint or an address that was never attached or
 // has crashed.
 type Bus struct {
@@ -59,13 +62,14 @@ type Bus struct {
 	now   uint64
 	rng   *rand.Rand
 
-	// Delivered counts messages actually handed to a handler since
-	// creation (protocol cost measurements).
-	Delivered uint64
-	// Dropped counts messages lost to fault injection — DropRate, link
-	// rules, partitions — or to a destination that detached while the
-	// message was in flight.
-	Dropped uint64
+	// Message accounting. Atomics, not plain fields: Drain's parallel
+	// mode and any goroutine holding a snapshot read them concurrently
+	// with senders. The conservation law tests and the harness checker
+	// rely on is sends == delivered + dropped + pending.
+	sends     atomic.Uint64 // Send calls that returned nil (queued or fault-dropped)
+	delivered atomic.Uint64 // messages handed to a handler
+	dropped   atomic.Uint64 // lost to faults at send time or to a detached destination
+
 	// DropRate in [0,1] silently drops a deterministic fraction of
 	// messages (legacy failure injection: every k-th send with
 	// k = 1/DropRate). Prefer LinkRule.Drop for seeded probabilistic loss.
@@ -329,11 +333,11 @@ func (b *Bus) Drain() int {
 		if ep == nil || ep.handler == nil {
 			// The destination detached (crashed) with the message in
 			// flight: the message is lost, observably.
-			b.Dropped++
+			b.dropped.Add(1)
 			b.mu.Unlock()
 			continue
 		}
-		b.Delivered++
+		b.delivered.Add(1)
 		h := ep.handler
 		b.mu.Unlock()
 		h(m.from, m.payload)
@@ -369,10 +373,10 @@ func (b *Bus) drainParallel(workers int) int {
 			}
 			ep := b.peers[m.to]
 			if ep == nil || ep.handler == nil {
-				b.Dropped++
+				b.dropped.Add(1)
 				continue
 			}
-			b.Delivered++
+			b.delivered.Add(1)
 			if _, seen := groups[m.to]; !seen {
 				order = append(order, m.to)
 			}
@@ -404,6 +408,36 @@ func (b *Bus) Pending() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return len(b.queue)
+}
+
+// SendCount returns how many Send calls were accepted (queued for
+// delivery or silently fault-dropped; errored sends are excluded).
+func (b *Bus) SendCount() uint64 { return b.sends.Load() }
+
+// DeliveredCount returns how many messages were handed to a handler.
+func (b *Bus) DeliveredCount() uint64 { return b.delivered.Load() }
+
+// DroppedCount returns how many messages were lost — to fault injection
+// (DropRate, link rules, partitions) at send time, or to a destination
+// that detached while the message was in flight.
+func (b *Bus) DroppedCount() uint64 { return b.dropped.Load() }
+
+// MetricsSnapshot exports the bus counters as a metrics snapshot, for
+// merging into node registries (voronet-bench, the harness checker).
+// Every accepted send is accounted exactly once as delivered, dropped or
+// pending, so bus_sends_total == bus_delivered_total + bus_dropped_total
+// + bus_pending after any full Drain.
+func (b *Bus) MetricsSnapshot() metrics.Snapshot {
+	return metrics.Snapshot{
+		Counters: map[string]uint64{
+			"bus_sends_total":     b.sends.Load(),
+			"bus_delivered_total": b.delivered.Load(),
+			"bus_dropped_total":   b.dropped.Load(),
+		},
+		Gauges: map[string]int64{
+			"bus_pending": int64(b.Pending()),
+		},
+	}
 }
 
 func (e *busEndpoint) Addr() string { return e.addr }
@@ -443,7 +477,8 @@ func (e *busEndpoint) Send(to string, payload []byte) error {
 		}
 	}
 	if drop {
-		b.Dropped++
+		b.sends.Add(1)
+		b.dropped.Add(1)
 		return nil
 	}
 	lat := rule.MinLatency
@@ -453,6 +488,7 @@ func (e *busEndpoint) Send(to string, payload []byte) error {
 	cp := make([]byte, len(payload))
 	copy(cp, payload)
 	b.seq++
+	b.sends.Add(1)
 	heap.Push(&b.queue, busMsg{at: b.now + lat, seq: b.seq, from: e.addr, to: to, payload: cp})
 	return nil
 }

@@ -96,11 +96,11 @@ func TestBusDropRate(t *testing.T) {
 		t.Fatalf("delivered %d with 25%% drop", delivered)
 	}
 	// Drops are observable, not inferred from silence.
-	if bus.Dropped != 25 {
-		t.Fatalf("Dropped=%d, want 25", bus.Dropped)
+	if bus.DroppedCount() != 25 {
+		t.Fatalf("Dropped=%d, want 25", bus.DroppedCount())
 	}
-	if bus.Delivered != 75 {
-		t.Fatalf("Delivered=%d, want 75", bus.Delivered)
+	if bus.DeliveredCount() != 75 {
+		t.Fatalf("Delivered=%d, want 75", bus.DeliveredCount())
 	}
 }
 
