@@ -12,12 +12,14 @@ import (
 	"sync/atomic"
 	"time"
 
+	"voronet/internal/client"
 	"voronet/internal/geom"
 	"voronet/internal/metrics"
 	"voronet/internal/node"
 	"voronet/internal/proto"
 	"voronet/internal/store"
 	"voronet/internal/transport"
+	"voronet/internal/workload"
 )
 
 // The -net mode measures the live message-passing node runtime end to
@@ -44,6 +46,15 @@ var (
 	netSimnet  = flag.Bool("net-simnet", true, "also measure the simnet serial vs parallel drain (-net)")
 	netMixVal  = flag.Int("net-mix-value-bytes", 128<<10, "background PUT value size of the mixed phase (-net)")
 	netReps    = flag.Int("net-reps", 1, "repetitions per mode, best per phase kept (-net; noise control on busy hosts)")
+
+	// The lookup-stack phase: the same overlay run once as the classic
+	// single-path router and once with α-parallel speculation plus the
+	// hot-region route cache, under a Zipf-skewed GET stream. The two
+	// runs share every draw, so their hop books are directly comparable.
+	netAlpha   = flag.Int("net-alpha", 3, "speculative probes per read in the tuned lookup-stack run (-net)")
+	netCache   = flag.Int("net-route-cache", 256, "route-cache entries in the tuned lookup-stack run (-net)")
+	netZipf    = flag.Float64("net-zipf", 1.1, "Zipf exponent of the lookup-stack key popularity (-net)")
+	netPipeOps = flag.Int("net-pipe-ops", 400, "operations of the pipelined-vs-oneshot client phase (-net; oneshot dials per op, keep this modest)")
 )
 
 // netWorkload pins the randomness shared by every mode: node positions,
@@ -54,6 +65,12 @@ type netWorkload struct {
 	origins   []int
 	keys      []geom.Point
 	getOrder  []int
+
+	// The lookup-stack phase's Zipf-skewed stream: zipfKeys holds the
+	// key set most-popular-first, zipfSeq the pre-drawn per-op keys —
+	// pinned here so the baseline and tuned runs replay the same stream.
+	zipfKeys []geom.Point
+	zipfSeq  []geom.Point
 }
 
 func buildNetWorkload() *netWorkload {
@@ -71,6 +88,11 @@ func buildNetWorkload() *netWorkload {
 	}
 	for i := 0; i < *netOps; i++ {
 		w.getOrder = append(w.getOrder, rng.Intn(*netKeys))
+	}
+	z := workload.NewZipfKeys(*netZipf, *netKeys, rng)
+	w.zipfKeys = z.Keys()
+	for i := 0; i < *netOps; i++ {
+		w.zipfSeq = append(w.zipfSeq, z.Next())
 	}
 	return w
 }
@@ -306,17 +328,35 @@ func runNetSimnet(mode string, w *netWorkload) (query *netPhaseStats, snap metri
 	}
 	var mu sync.Mutex
 	start := time.Now()
-	for i := 0; i < *netOps; i++ {
-		i := i
-		if err := nodes[w.origins[i]].Query(w.targets[i], func(_ proto.NodeInfo, h int) {
-			mu.Lock()
-			hops[i] = h
-			mu.Unlock()
-		}); err != nil {
-			fatal(err)
-		}
+	// Enqueue in windows of the client count and drain each window, so at
+	// most `window` queries are in flight at once — the simnet analogue of
+	// the TCP phases' bounded client pool. Enqueueing all ops before one
+	// drain used to leave every query "in flight" for essentially the
+	// whole drain, inflating the node_query_seconds sum to ops × drain
+	// time (thousands of histogram-seconds from a sub-second run); with
+	// the window, the sum reconciles with wall × inflight. Drain
+	// throughput is unaffected: each drain delivers a full batch.
+	window := *netClients
+	if window <= 0 {
+		window = 1
 	}
-	bus.Drain()
+	for lo := 0; lo < *netOps; lo += window {
+		hi := lo + window
+		if hi > *netOps {
+			hi = *netOps
+		}
+		for i := lo; i < hi; i++ {
+			i := i
+			if err := nodes[w.origins[i]].Query(w.targets[i], func(_ proto.NodeInfo, h int) {
+				mu.Lock()
+				hops[i] = h
+				mu.Unlock()
+			}); err != nil {
+				fatal(err)
+			}
+		}
+		bus.Drain()
+	}
 	st.wall = time.Since(start).Seconds()
 	for _, h := range hops {
 		if h == node.HopsTimedOut {
@@ -331,6 +371,175 @@ func runNetSimnet(mode string, w *netWorkload) (query *netPhaseStats, snap metri
 		snap.Merge(nd.Metrics().Snapshot())
 	}
 	return st, snap
+}
+
+// runNetLookupStack measures the low-latency lookup stack end to end: a
+// loopback TCP overlay whose nodes run with the given speculative fan-out
+// and route-cache size, driven by the pinned Zipf-skewed GET stream. The
+// baseline (alpha=1, cache=0) and tuned runs replay identical draws, so
+// p99 and first-byte hops are directly comparable; correctness is checked
+// op by op (every GET must return the seeded value).
+func runNetLookupStack(alpha, cacheSize int, w *netWorkload) (get *netPhaseStats, snap metrics.Snapshot) {
+	opts := transport.TCPOptions{DispatchWorkers: *netWorkers}
+	nodes := make([]*node.Node, 0, *netNodes)
+	eps := make([]*transport.TCPEndpoint, 0, *netNodes)
+	defer func() {
+		for _, ep := range eps {
+			ep.Close()
+		}
+	}()
+	for i := 0; i < *netNodes; i++ {
+		ep, err := transport.ListenTCPOptions("127.0.0.1:0", opts)
+		if err != nil {
+			fatal(err)
+		}
+		eps = append(eps, ep)
+		cfg := netNodeConfig(i)
+		cfg.Alpha = alpha
+		cfg.RouteCacheSize = cacheSize
+		nd := node.New(ep, w.positions[i], cfg)
+		if i == 0 {
+			if err := nd.Bootstrap(); err != nil {
+				fatal(err)
+			}
+		} else {
+			if err := nd.Join(nodes[0].Info().Addr); err != nil {
+				fatal(err)
+			}
+			deadline := time.Now().Add(30 * time.Second)
+			for !nd.Joined() {
+				if time.Now().After(deadline) {
+					fatal(fmt.Errorf("net bench: lookup node %d failed to join", i))
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
+		nodes = append(nodes, nd)
+	}
+	time.Sleep(200 * time.Millisecond)
+
+	for i, k := range w.zipfKeys {
+		if err := nodes[i%len(nodes)].PutSync(k, []byte(fmt.Sprintf("zipf-%04d", i))); err != nil {
+			fatal(fmt.Errorf("net bench: zipf seed put %d: %w", i, err))
+		}
+	}
+	var wrong atomic.Int64
+	get = runNetClients(len(w.zipfSeq), func(i int) int {
+		done := make(chan int, 1)
+		if err := nodes[w.origins[i]].Get(w.zipfSeq[i], func(r store.Reply) {
+			if r.Err != nil {
+				done <- node.HopsTimedOut
+				return
+			}
+			if !r.Found {
+				wrong.Add(1)
+			}
+			done <- r.Hops
+		}); err != nil {
+			return node.HopsTimedOut
+		}
+		return <-done
+	})
+	if wrong.Load() > 0 {
+		fatal(fmt.Errorf("net bench: %d Zipf GETs missed a seeded key (alpha=%d cache=%d)", wrong.Load(), alpha, cacheSize))
+	}
+	for i := range nodes {
+		snap.Merge(nodes[i].Metrics().Snapshot())
+		snap.Merge(eps[i].Metrics().Snapshot())
+	}
+	return get, snap
+}
+
+// runNetClientBench compares the pipelined client library against the
+// dial-per-operation pattern it replaces: the same GET stream against the
+// same overlay, once through one multiplexed client.Client shared by all
+// goroutines, once with a fresh client (fresh listener, fresh connection)
+// per operation.
+func runNetClientBench(w *netWorkload) (pipe, oneshot *netPhaseStats) {
+	opts := transport.TCPOptions{DispatchWorkers: *netWorkers}
+	nodes := make([]*node.Node, 0, *netNodes)
+	eps := make([]*transport.TCPEndpoint, 0, *netNodes)
+	defer func() {
+		for _, ep := range eps {
+			ep.Close()
+		}
+	}()
+	for i := 0; i < *netNodes; i++ {
+		ep, err := transport.ListenTCPOptions("127.0.0.1:0", opts)
+		if err != nil {
+			fatal(err)
+		}
+		eps = append(eps, ep)
+		nd := node.New(ep, w.positions[i], netNodeConfig(i))
+		if i == 0 {
+			if err := nd.Bootstrap(); err != nil {
+				fatal(err)
+			}
+		} else {
+			if err := nd.Join(nodes[0].Info().Addr); err != nil {
+				fatal(err)
+			}
+			deadline := time.Now().Add(30 * time.Second)
+			for !nd.Joined() {
+				if time.Now().After(deadline) {
+					fatal(fmt.Errorf("net bench: client-phase node %d failed to join", i))
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
+		nodes = append(nodes, nd)
+	}
+	time.Sleep(200 * time.Millisecond)
+	for i, k := range w.keys {
+		if err := nodes[i%len(nodes)].PutSync(k, []byte(fmt.Sprintf("net-%04d", i))); err != nil {
+			fatal(fmt.Errorf("net bench: client-phase seed put %d: %w", i, err))
+		}
+	}
+
+	ops := *netPipeOps
+	if ops > len(w.getOrder) {
+		ops = len(w.getOrder)
+	}
+	gateway := nodes[0].Info().Addr
+
+	cl, err := client.Dial(gateway, client.Options{Timeout: 60 * time.Second})
+	if err != nil {
+		fatal(err)
+	}
+	pipe = runNetClients(ops, func(i int) int {
+		done := make(chan int, 1)
+		if err := cl.Get(w.keys[w.getOrder[i]], func(r store.Reply) {
+			if r.Err != nil {
+				done <- node.HopsTimedOut
+				return
+			}
+			done <- r.Hops
+		}); err != nil {
+			return node.HopsTimedOut
+		}
+		return <-done
+	})
+	cl.Close()
+
+	oneshot = runNetClients(ops, func(i int) int {
+		c, err := client.Dial(gateway, client.Options{Timeout: 60 * time.Second})
+		if err != nil {
+			return node.HopsTimedOut
+		}
+		defer c.Close()
+		done := make(chan int, 1)
+		if err := c.Get(w.keys[w.getOrder[i]], func(r store.Reply) {
+			if r.Err != nil {
+				done <- node.HopsTimedOut
+				return
+			}
+			done <- r.Hops
+		}); err != nil {
+			return node.HopsTimedOut
+		}
+		return <-done
+	})
+	return pipe, oneshot
 }
 
 // runNetBench drives both transports under both dispatch modes and
@@ -411,25 +620,146 @@ func runNetBench() {
 				"query_mean_hops":     round3(float64(q.sumHops) / float64(max(q.completed, 1))),
 				"query_sum_hops":      q.sumHops,
 				"query_timeouts":      q.timeouts,
-				"metrics":             snap,
-				"unix_millis":         time.Now().UnixMilli(),
+				// Reconciliation: with at most inflight_window queries in
+				// flight, query_seconds_sum is bounded by wall × window.
+				"inflight_window":   *netClients,
+				"wall_seconds":      round3(q.wall),
+				"query_seconds_sum": round3(snap.Histograms["node_query_seconds"].Sum),
+				"metrics":           snap,
+				"unix_millis":       time.Now().UnixMilli(),
 			}
 			if err := enc.Encode(line); err != nil {
 				fatal(err)
 			}
 		}
 	}
+	// Lookup stack: baseline greedy (alpha=1, no cache) vs the tuned stack
+	// (-net-alpha speculative probes + -net-route-cache hot-region cache)
+	// over an identical Zipf-skewed GET stream.
+	lookupLine := func(label string, alpha, cacheSize int, st *netPhaseStats, snap metrics.Snapshot) map[string]any {
+		fb := snap.Histograms["node_first_byte_hops"]
+		hits := snap.Counters["node_cache_hits_total"]
+		misses := snap.Counters["node_cache_misses_total"]
+		hitRate := 0.0
+		if hits+misses > 0 {
+			hitRate = float64(hits) / float64(hits+misses)
+		}
+		return map[string]any{
+			"bench":                "net",
+			"phase":                "lookup",
+			"config":               label,
+			"alpha":                alpha,
+			"route_cache":          cacheSize,
+			"zipf_s":               *netZipf,
+			"nodes":                *netNodes,
+			"clients":              *netClients,
+			"ops":                  *netOps,
+			"seed":                 *seed,
+			"get_ops_per_sec":      round3(float64(st.completed) / st.wall),
+			"get_sum_hops":         st.sumHops,
+			"get_mean_hops":        round3(float64(st.sumHops) / float64(max(st.completed, 1))),
+			"get_timeouts":         st.timeouts,
+			"get_p50_us":           round3(st.pct(0.50)),
+			"get_p95_us":           round3(st.pct(0.95)),
+			"get_p99_us":           round3(st.pct(0.99)),
+			"first_byte_mean_hops": round3(fb.Sum / float64(max(int(fb.Count), 1))),
+			"cache_hits":           hits,
+			"cache_misses":         misses,
+			"cache_hit_rate":       round3(hitRate),
+			"cache_invalidations":  snap.Counters["node_cache_invalidations_total"],
+			"probes_wasted":        snap.Counters["node_probe_wasted_total"],
+			"unix_millis":          time.Now().UnixMilli(),
+		}
+	}
+	// Same best-of-netReps noise control as the TCP phases: latency
+	// percentiles on a busy host swing more than the deterministic hop
+	// books do, so each config keeps its best rep.
+	lookupReps := func(alpha, cacheSize int) (*netPhaseStats, metrics.Snapshot) {
+		var st *netPhaseStats
+		var snap metrics.Snapshot
+		for rep := 0; rep < max(*netReps, 1); rep++ {
+			rs, rsnap := runNetLookupStack(alpha, cacheSize, w)
+			if prev := st; prev == nil || better(prev, rs) == rs {
+				st, snap = rs, rsnap
+			}
+		}
+		return st, snap
+	}
+	baseGet, baseSnap := lookupReps(1, 0)
+	if err := enc.Encode(lookupLine("baseline", 1, 0, baseGet, baseSnap)); err != nil {
+		fatal(err)
+	}
+	tunedGet, tunedSnap := lookupReps(*netAlpha, *netCache)
+	if err := enc.Encode(lookupLine("tuned", *netAlpha, *netCache, tunedGet, tunedSnap)); err != nil {
+		fatal(err)
+	}
+	baseFB := baseSnap.Histograms["node_first_byte_hops"]
+	tunedFB := tunedSnap.Histograms["node_first_byte_hops"]
+	lookupSummary := map[string]any{
+		"bench":                    "net",
+		"phase":                    "lookup",
+		"summary":                  true,
+		"alpha":                    *netAlpha,
+		"route_cache":              *netCache,
+		"zipf_s":                   *netZipf,
+		"p99_ratio_tuned_vs_base":  round3(tunedGet.pct(0.99) / baseGet.pct(0.99)),
+		"first_byte_hops_baseline": round3(baseFB.Sum / float64(max(int(baseFB.Count), 1))),
+		"first_byte_hops_tuned":    round3(tunedFB.Sum / float64(max(int(tunedFB.Count), 1))),
+		"cache_hit_rate_tuned":     round3(float64(tunedSnap.Counters["node_cache_hits_total"]) / float64(max(int(tunedSnap.Counters["node_cache_hits_total"]+tunedSnap.Counters["node_cache_misses_total"]), 1))),
+	}
+	if err := enc.Encode(lookupSummary); err != nil {
+		fatal(err)
+	}
+
+	// Pipelined client vs dial-per-operation, same overlay and key stream.
+	pipe, oneshot := runNetClientBench(w)
+	clientLine := func(mode string, st *netPhaseStats) map[string]any {
+		return map[string]any{
+			"bench":           "net",
+			"phase":           "client",
+			"mode":            mode,
+			"nodes":           *netNodes,
+			"clients":         *netClients,
+			"ops":             st.completed + st.timeouts,
+			"seed":            *seed,
+			"get_ops_per_sec": round3(float64(st.completed) / st.wall),
+			"get_timeouts":    st.timeouts,
+			"get_p50_us":      round3(st.pct(0.50)),
+			"get_p95_us":      round3(st.pct(0.95)),
+			"get_p99_us":      round3(st.pct(0.99)),
+			"unix_millis":     time.Now().UnixMilli(),
+		}
+	}
+	if err := enc.Encode(clientLine("pipelined", pipe)); err != nil {
+		fatal(err)
+	}
+	if err := enc.Encode(clientLine("oneshot", oneshot)); err != nil {
+		fatal(err)
+	}
+	clientSummary := map[string]any{
+		"bench":   "net",
+		"phase":   "client",
+		"summary": true,
+		"pipelined_throughput_ratio": round3((float64(pipe.completed) / pipe.wall) /
+			(float64(oneshot.completed) / oneshot.wall)),
+	}
+	if err := enc.Encode(clientSummary); err != nil {
+		fatal(err)
+	}
+
 	ser, par := tcp["serial"], tcp["parallel"]
 	speedup := (float64(par.query.sumHops+par.query.completed) / par.query.wall) /
 		(float64(ser.query.sumHops+ser.query.completed) / ser.query.wall)
 	summary := map[string]any{
-		"bench":             "net",
-		"transport":         "tcp",
-		"summary":           true,
-		"throughput_ratio":  round3(speedup),
-		"get_ratio":         round3((float64(par.get.completed) / par.get.wall) / (float64(ser.get.completed) / ser.get.wall)),
-		"mixed_qps_ratio":   round3((float64(par.mixed.completed) / par.mixed.wall) / (float64(ser.mixed.completed) / ser.mixed.wall)),
-		"mixed_p99_ratio":   round3(ser.mixed.pct(0.99) / par.mixed.pct(0.99)),
+		"bench":            "net",
+		"transport":        "tcp",
+		"summary":          true,
+		"throughput_ratio": round3(speedup),
+		"get_ratio":        round3((float64(par.get.completed) / par.get.wall) / (float64(ser.get.completed) / ser.get.wall)),
+		"mixed_qps_ratio":  round3((float64(par.mixed.completed) / par.mixed.wall) / (float64(ser.mixed.completed) / ser.mixed.wall)),
+		// Parallel-dispatch tail degradation under mixed load: parallel p99
+		// over serial p99. The bounded coalesce window keeps this <= 1.2.
+		"mixed_p99_ratio":   round3(par.mixed.pct(0.99) / ser.mixed.pct(0.99)),
 		"hops_identical":    ser.query.sumHops == par.query.sumHops && ser.get.sumHops == par.get.sumHops,
 		"serial_sum_hops":   ser.query.sumHops,
 		"parallel_sum_hops": par.query.sumHops,

@@ -22,6 +22,12 @@
 //	metrics         print this node's metric snapshot as JSON
 //	leave           leave the overlay and exit
 //
+// With -connect ADDR the process is a thin pipelined client instead of an
+// overlay member: it speaks the same query/put/get/del commands, but every
+// operation travels through the member at ADDR over one multiplexed
+// connection (internal/client) and no object is inserted into the
+// attribute space.
+//
 // With -debug-addr the node also serves live introspection over HTTP:
 // GET /metrics returns the merged node + transport snapshot as JSON, and
 // /debug/pprof/ exposes the standard Go profiles.
@@ -39,6 +45,7 @@ import (
 	"time"
 
 	"voronet"
+	"voronet/internal/client"
 	"voronet/internal/geom"
 	"voronet/internal/metrics"
 	"voronet/internal/node"
@@ -56,10 +63,17 @@ var (
 	links     = flag.Int("k", 1, "long-range links")
 	syncEvery = flag.Duration("sync-interval", 30*time.Second, "anti-entropy replica sweep period (0 disables)")
 	debugAddr = flag.String("debug-addr", "", "serve JSON metrics and pprof on this HTTP address (e.g. 127.0.0.1:6060)")
+	connect   = flag.String("connect", "", "run as a pipelined client of the overlay member at this address (no join)")
+	alpha     = flag.Int("alpha", 1, "speculative parallel probes per read (<=1 disables)")
+	cacheSize = flag.Int("route-cache", 0, "route/owner cache entries (0 disables)")
 )
 
 func main() {
 	flag.Parse()
+	if *connect != "" {
+		runClient(*connect)
+		return
+	}
 	ep, err := transport.ListenTCP(*listen)
 	if err != nil {
 		fatal(err)
@@ -67,9 +81,11 @@ func main() {
 	defer ep.Close()
 
 	nd := node.New(ep, geom.Pt(*x, *y), node.Config{
-		DMin:      voronet.DefaultDMin(*nmax),
-		LongLinks: *links,
-		Seed:      time.Now().UnixNano(),
+		DMin:           voronet.DefaultDMin(*nmax),
+		LongLinks:      *links,
+		Seed:           time.Now().UnixNano(),
+		Alpha:          *alpha,
+		RouteCacheSize: *cacheSize,
 	})
 	fmt.Printf("node %s at (%g, %g)\n", nd.Info().Addr, *x, *y)
 
@@ -276,6 +292,96 @@ func main() {
 	// overlay until killed.
 	fmt.Println("stdin closed; serving headless")
 	select {}
+}
+
+// runClient is the -connect mode: a pipelined client REPL over one
+// multiplexed connection to the gateway member. Operations issued while
+// earlier ones await their replies genuinely overlap on the wire.
+func runClient(gateway string) {
+	cl, err := client.Dial(gateway, client.Options{Timeout: 30 * time.Second})
+	if err != nil {
+		fatal(err)
+	}
+	defer cl.Close()
+	fmt.Printf("client %s -> gateway %s\n", cl.Addr(), gateway)
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			fmt.Print("> ")
+			continue
+		}
+		switch fields[0] {
+		case "query":
+			key, err := parseKeyArgs(fields, 3)
+			if err != nil {
+				fmt.Println("usage: query X Y")
+				break
+			}
+			owner, hops, err := cl.QuerySync(key)
+			if err != nil {
+				fmt.Println("query:", err)
+				break
+			}
+			fmt.Printf("owner of (%g, %g): %s at (%g, %g), %d hops\n",
+				key.X, key.Y, owner.Addr, owner.Pos.X, owner.Pos.Y, hops)
+		case "put":
+			if len(fields) < 4 {
+				fmt.Println("usage: put X Y VALUE")
+				break
+			}
+			key, err := parseKey(fields[1], fields[2])
+			if err != nil {
+				fmt.Println("put:", err)
+				break
+			}
+			value := strings.Join(fields[3:], " ")
+			if err := cl.PutSync(key, []byte(value)); err != nil {
+				fmt.Println("put:", err)
+				break
+			}
+			fmt.Printf("stored %q at (%g, %g)\n", value, key.X, key.Y)
+		case "get":
+			key, err := parseKeyArgs(fields, 3)
+			if err != nil {
+				fmt.Println("usage: get X Y")
+				break
+			}
+			v, err := cl.GetSync(key)
+			if err != nil {
+				fmt.Println("get:", err)
+				break
+			}
+			fmt.Printf("(%g, %g) = %q\n", key.X, key.Y, v)
+		case "del":
+			key, err := parseKeyArgs(fields, 3)
+			if err != nil {
+				fmt.Println("usage: del X Y")
+				break
+			}
+			if err := cl.DeleteSync(key); err != nil {
+				fmt.Println("del:", err)
+				break
+			}
+			fmt.Printf("deleted (%g, %g)\n", key.X, key.Y)
+		case "exit", "quit":
+			return
+		default:
+			fmt.Println("commands: query X Y | put X Y VALUE | get X Y | del X Y | exit")
+		}
+		fmt.Print("> ")
+	}
+}
+
+// parseKeyArgs parses fields[1], fields[2] as a key when the command has
+// exactly want fields.
+func parseKeyArgs(fields []string, want int) (geom.Point, error) {
+	if len(fields) != want {
+		return geom.Point{}, fmt.Errorf("want %d arguments", want-1)
+	}
+	return parseKey(fields[1], fields[2])
 }
 
 func parseKey(xs, ys string) (geom.Point, error) {

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"voronet/internal/geom"
+	"voronet/internal/workload"
+)
+
+// TestRouteToPointAlphaMatchesSerial: the α-parallel resolve must name the
+// same owner as the serial walk for every target (the tessellation is the
+// same for every probe), report first-byte hops no worse than the serial
+// walk, and degrade to exactly the serial result at alpha <= 1.
+func TestRouteToPointAlphaMatchesSerial(t *testing.T) {
+	o := newTestOverlay(3000)
+	rng := rand.New(rand.NewSource(31))
+	ids := fill(t, o, &workload.Uniform{Rand: rng}, 800)
+	r := o.NewRouter()
+
+	for q := 0; q < 300; q++ {
+		from := ids[rng.Intn(len(ids))]
+		target := geom.Pt(rng.Float64(), rng.Float64())
+		serial, err := r.RouteToPoint(from, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, alpha := range []int{0, 1, 2, 3} {
+			ar, err := r.RouteToPointAlpha(from, target, alpha)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ar.Owner != serial.Owner {
+				t.Fatalf("alpha=%d owner %d != serial %d (from %d to %v)",
+					alpha, ar.Owner, serial.Owner, from, target)
+			}
+			if alpha <= 1 {
+				if ar.RouteResult != serial || ar.Probes != 1 || ar.TotalHops != serial.Hops {
+					t.Fatalf("alpha=%d should be the serial walk: %+v vs %+v", alpha, ar, serial)
+				}
+				continue
+			}
+			if ar.Hops > serial.Hops {
+				t.Fatalf("alpha=%d first-byte hops %d worse than serial %d", alpha, ar.Hops, serial.Hops)
+			}
+			if ar.Probes < 1 || ar.Probes > alpha {
+				t.Fatalf("alpha=%d dispatched %d probes", alpha, ar.Probes)
+			}
+			if ar.TotalHops < ar.Hops {
+				t.Fatalf("alpha=%d total hops %d below winning hops %d", alpha, ar.TotalHops, ar.Hops)
+			}
+		}
+	}
+}
+
+// TestStoreAlphaGetIdentical: a store wired for α-parallel reads serves
+// exactly the values the serial store serves.
+func TestStoreAlphaGetIdentical(t *testing.T) {
+	o := newTestOverlay(2000)
+	rng := rand.New(rand.NewSource(32))
+	ids := fill(t, o, &workload.Uniform{Rand: rng}, 400)
+
+	serial := NewStore(o, 1)
+	parallel := NewStore(o, 1)
+	parallel.SetAlpha(3)
+
+	keys := make([]geom.Point, 60)
+	for i := range keys {
+		keys[i] = geom.Pt(rng.Float64(), rng.Float64())
+		val := []byte{byte(i)}
+		if _, _, err := serial.Put(ids[rng.Intn(len(ids))], keys[i], val); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := parallel.Put(ids[rng.Intn(len(ids))], keys[i], val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, k := range keys {
+		from := ids[rng.Intn(len(ids))]
+		sv, sh, serr := serial.Get(from, k)
+		pv, ph, perr := parallel.Get(from, k)
+		if (serr == nil) != (perr == nil) {
+			t.Fatalf("key %d error mismatch: %v vs %v", i, serr, perr)
+		}
+		if serr != nil {
+			continue
+		}
+		if string(sv) != string(pv) {
+			t.Fatalf("key %d value mismatch: %q vs %q", i, sv, pv)
+		}
+		if ph > sh {
+			t.Fatalf("key %d alpha hops %d worse than serial %d", i, ph, sh)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package node
+
+import (
+	"container/list"
+	"math"
+	"sync"
+
+	"voronet/internal/geom"
+	"voronet/internal/proto"
+)
+
+// routeCache is the hot-region owner cache (the path-caching half of the
+// Kademlia-style lookup acceleration): a small LRU mapping a quantised
+// attribute-space cell to the node last observed answering for a key in
+// that cell. The origin consults it before the greedy scan and feeds the
+// cached owner in as one more next-hop candidate; because the candidate
+// must still win the strictly-closer distance test, a stale entry can
+// cost at most a wasted comparison — it can never misroute, loop, or
+// serve a stale owner silently. Under a Zipf-skewed workload the hot
+// keys' owners pin themselves in the cache and the route to them
+// collapses to one hop.
+//
+// Coherence rules (see DESIGN.md):
+//   - populated only at the origin, from answers (Query answers and
+//     store replies carry the answering node);
+//   - invalidated by address whenever the node tombstones a departure
+//     (leave, crash repair, tombstone gossip) — a dead owner must not
+//     linger even as a candidate;
+//   - invalidated by region when a newcomer integrates: every entry
+//     whose key the newcomer is strictly closer to than the cached
+//     owner is dropped, since that region is no longer the owner's;
+//   - cleared wholesale when this node leaves.
+//
+// Locking: the cache has its own leaf mutex and takes no other lock, so
+// it is safe to touch from under n.mu (read or write) and from callback
+// paths alike.
+type routeCache struct {
+	mu      sync.Mutex
+	cap     int
+	grid    float64
+	entries map[uint64]*list.Element
+	lru     *list.List // front = most recently used
+}
+
+// cacheEntry is one cached region→owner binding. key is the exact
+// target that populated the entry; invalidation distance tests run
+// against it rather than the cell centre, so they exactly mirror the
+// ownership comparisons the store layer makes.
+type cacheEntry struct {
+	cell  uint64
+	key   geom.Point
+	owner proto.NodeInfo
+}
+
+// defaultCacheGrid is the quantisation floor: cells never get coarser
+// than this even for large DMin, so distinct hot regions rarely share a
+// cell (a shared cell only costs evictions, never correctness).
+const defaultCacheGrid = 1.0 / 256
+
+func newRouteCache(capacity int, dmin float64) *routeCache {
+	grid := dmin
+	if grid < defaultCacheGrid || math.IsNaN(grid) {
+		grid = defaultCacheGrid
+	}
+	return &routeCache{
+		cap:     capacity,
+		grid:    grid,
+		entries: make(map[uint64]*list.Element, capacity),
+		lru:     list.New(),
+	}
+}
+
+// cellOf quantises p to its grid cell. Coordinates live in [0,1] with
+// small excursions (long-link targets overshoot the square); the int32
+// fold keeps any finite point addressable.
+func (rc *routeCache) cellOf(p geom.Point) uint64 {
+	cx := uint64(uint32(int32(math.Floor(p.X / rc.grid))))
+	cy := uint64(uint32(int32(math.Floor(p.Y / rc.grid))))
+	return cx<<32 | cy
+}
+
+// lookup returns the cached owner for p's cell, refreshing its recency.
+func (rc *routeCache) lookup(p geom.Point) (proto.NodeInfo, bool) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	el, ok := rc.entries[rc.cellOf(p)]
+	if !ok {
+		return proto.NodeInfo{}, false
+	}
+	rc.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).owner, true
+}
+
+// insert records owner as the answerer for p's cell, evicting the least
+// recently used entry at capacity.
+func (rc *routeCache) insert(p geom.Point, owner proto.NodeInfo) {
+	if owner.Addr == "" {
+		return
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	cell := rc.cellOf(p)
+	if el, ok := rc.entries[cell]; ok {
+		ent := el.Value.(*cacheEntry)
+		ent.key, ent.owner = p, owner
+		rc.lru.MoveToFront(el)
+		return
+	}
+	for rc.lru.Len() >= rc.cap && rc.lru.Len() > 0 {
+		oldest := rc.lru.Back()
+		delete(rc.entries, oldest.Value.(*cacheEntry).cell)
+		rc.lru.Remove(oldest)
+	}
+	rc.entries[cell] = rc.lru.PushFront(&cacheEntry{cell: cell, key: p, owner: owner})
+}
+
+// invalidateOwner drops every entry naming addr and returns how many it
+// removed. Called from the tombstone path: leave, crash repair and
+// tombstone gossip all funnel through it.
+func (rc *routeCache) invalidateOwner(addr string) int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	removed := 0
+	for el := rc.lru.Front(); el != nil; {
+		next := el.Next()
+		if ent := el.Value.(*cacheEntry); ent.owner.Addr == addr {
+			delete(rc.entries, ent.cell)
+			rc.lru.Remove(el)
+			removed++
+		}
+		el = next
+	}
+	return removed
+}
+
+// invalidateTakenOver drops every entry whose key the newcomer at pos is
+// strictly closer to than the cached owner — those regions changed hands
+// in the AddVoronoiRegion the caller just executed. Returns the number
+// removed.
+func (rc *routeCache) invalidateTakenOver(pos geom.Point) int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	removed := 0
+	for el := rc.lru.Front(); el != nil; {
+		next := el.Next()
+		if ent := el.Value.(*cacheEntry); geom.Dist2(pos, ent.key) < geom.Dist2(ent.owner.Pos, ent.key) {
+			delete(rc.entries, ent.cell)
+			rc.lru.Remove(el)
+			removed++
+		}
+		el = next
+	}
+	return removed
+}
+
+// clear empties the cache (this node left the overlay).
+func (rc *routeCache) clear() {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.entries = make(map[uint64]*list.Element, rc.cap)
+	rc.lru.Init()
+}
+
+// size returns the number of cached entries.
+func (rc *routeCache) size() int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.lru.Len()
+}

@@ -1,0 +1,137 @@
+package node
+
+import (
+	"fmt"
+	"testing"
+
+	"voronet/internal/geom"
+	"voronet/internal/proto"
+)
+
+func info(addr string, p geom.Point) proto.NodeInfo {
+	return proto.NodeInfo{Addr: addr, Pos: p}
+}
+
+func TestRouteCacheLRUEviction(t *testing.T) {
+	rc := newRouteCache(3, 0.05)
+	// Four well-separated points: distinct cells at grid 0.05.
+	pts := []geom.Point{geom.Pt(0.1, 0.1), geom.Pt(0.3, 0.3), geom.Pt(0.5, 0.5), geom.Pt(0.7, 0.7)}
+	for i := 0; i < 3; i++ {
+		rc.insert(pts[i], info(fmt.Sprintf("n%d", i), pts[i]))
+	}
+	if rc.size() != 3 {
+		t.Fatalf("size = %d, want 3", rc.size())
+	}
+	// Touch the oldest entry so the middle one becomes LRU.
+	if _, ok := rc.lookup(pts[0]); !ok {
+		t.Fatal("entry 0 missing before eviction")
+	}
+	rc.insert(pts[3], info("n3", pts[3]))
+	if rc.size() != 3 {
+		t.Fatalf("size = %d after eviction, want 3", rc.size())
+	}
+	if _, ok := rc.lookup(pts[1]); ok {
+		t.Fatal("LRU entry 1 survived the eviction")
+	}
+	for _, i := range []int{0, 2, 3} {
+		if owner, ok := rc.lookup(pts[i]); !ok || owner.Addr != fmt.Sprintf("n%d", i) {
+			t.Fatalf("entry %d = %+v (present %v)", i, owner, ok)
+		}
+	}
+}
+
+func TestRouteCacheCellQuantisation(t *testing.T) {
+	rc := newRouteCache(8, 0.1)
+	// Two keys inside the same 0.1-cell share one entry: the second
+	// insert overwrites, and both look up to the latest owner.
+	a, b := geom.Pt(0.51, 0.52), geom.Pt(0.53, 0.58)
+	rc.insert(a, info("first", a))
+	rc.insert(b, info("second", b))
+	if rc.size() != 1 {
+		t.Fatalf("size = %d, want 1 (same cell)", rc.size())
+	}
+	if owner, ok := rc.lookup(a); !ok || owner.Addr != "second" {
+		t.Fatalf("lookup(a) = %+v, want overwritten owner", owner)
+	}
+	// A key in the neighbouring cell is independent.
+	c := geom.Pt(0.61, 0.52)
+	if _, ok := rc.lookup(c); ok {
+		t.Fatal("neighbouring cell unexpectedly cached")
+	}
+	rc.insert(c, info("third", c))
+	if rc.size() != 2 {
+		t.Fatalf("size = %d, want 2", rc.size())
+	}
+	// The quantisation floor: a tiny DMin never coarsens below 1/256,
+	// and a NaN DMin (unset config) falls back to it too.
+	if g := newRouteCache(4, 1e-9).grid; g != defaultCacheGrid {
+		t.Fatalf("grid = %v, want floor %v", g, defaultCacheGrid)
+	}
+	// Slightly-negative excursions (long-link targets overshoot the unit
+	// square) quantise without panicking and stay distinct from cell 0.
+	neg := geom.Pt(-0.01, 0.5)
+	rc.insert(neg, info("edge", neg))
+	if owner, ok := rc.lookup(neg); !ok || owner.Addr != "edge" {
+		t.Fatalf("negative-coordinate entry = %+v (present %v)", owner, ok)
+	}
+	if owner, _ := rc.lookup(geom.Pt(0.01, 0.5)); owner.Addr == "edge" {
+		t.Fatal("negative cell collided with positive cell")
+	}
+}
+
+func TestRouteCacheInvalidateOwner(t *testing.T) {
+	rc := newRouteCache(8, 0.05)
+	pts := []geom.Point{geom.Pt(0.1, 0.1), geom.Pt(0.3, 0.3), geom.Pt(0.5, 0.5)}
+	rc.insert(pts[0], info("dead", pts[0]))
+	rc.insert(pts[1], info("alive", pts[1]))
+	rc.insert(pts[2], info("dead", pts[2]))
+	if removed := rc.invalidateOwner("dead"); removed != 2 {
+		t.Fatalf("invalidateOwner removed %d, want 2", removed)
+	}
+	if rc.size() != 1 {
+		t.Fatalf("size = %d, want 1", rc.size())
+	}
+	if _, ok := rc.lookup(pts[0]); ok {
+		t.Fatal("dead owner's entry survived")
+	}
+	if owner, ok := rc.lookup(pts[1]); !ok || owner.Addr != "alive" {
+		t.Fatalf("unrelated entry dropped: %+v (present %v)", owner, ok)
+	}
+	if removed := rc.invalidateOwner("dead"); removed != 0 {
+		t.Fatalf("second invalidation removed %d, want 0", removed)
+	}
+}
+
+func TestRouteCacheInvalidateTakenOver(t *testing.T) {
+	rc := newRouteCache(8, 0.05)
+	// Entry A: owner sits on its key (unbeatable). Entry B: owner far
+	// from its key, so a newcomer near the key takes the region over.
+	keyA, keyB := geom.Pt(0.2, 0.2), geom.Pt(0.8, 0.8)
+	rc.insert(keyA, info("a", keyA))
+	rc.insert(keyB, info("b", geom.Pt(0.6, 0.6)))
+	newcomer := geom.Pt(0.79, 0.79)
+	if removed := rc.invalidateTakenOver(newcomer); removed != 1 {
+		t.Fatalf("invalidateTakenOver removed %d, want 1", removed)
+	}
+	if _, ok := rc.lookup(keyB); ok {
+		t.Fatal("taken-over region still cached")
+	}
+	if owner, ok := rc.lookup(keyA); !ok || owner.Addr != "a" {
+		t.Fatalf("unaffected region dropped: %+v (present %v)", owner, ok)
+	}
+}
+
+func TestRouteCacheClear(t *testing.T) {
+	rc := newRouteCache(4, 0.05)
+	rc.insert(geom.Pt(0.1, 0.1), info("x", geom.Pt(0.1, 0.1)))
+	rc.insert(geom.Pt(0.9, 0.9), info("y", geom.Pt(0.9, 0.9)))
+	rc.clear()
+	if rc.size() != 0 {
+		t.Fatalf("size = %d after clear, want 0", rc.size())
+	}
+	// The cache stays usable after a clear (re-join after leave).
+	rc.insert(geom.Pt(0.5, 0.5), info("z", geom.Pt(0.5, 0.5)))
+	if rc.size() != 1 {
+		t.Fatalf("size = %d after re-insert, want 1", rc.size())
+	}
+}

@@ -165,17 +165,28 @@ func (n *Node) deliver(env *proto.Envelope) {
 		pq := n.queries[env.QueryID]
 		delete(n.queries, env.QueryID)
 		n.queryMu.Unlock()
-		if pq != nil {
-			pq.timer.Stop()
-			n.nm.queryLatency.Observe(time.Since(pq.start).Seconds())
-			n.nm.queryHops.Observe(float64(env.Hops))
-			pq.cb(env.From, env.Hops, env.Path)
+		if pq == nil {
+			// A losing speculative probe's answer (or one past its
+			// deadline): the request is already resolved, the work was
+			// wasted.
+			n.nm.probeWasted.Inc()
+			return
 		}
+		pq.timer.Stop()
+		n.nm.queryLatency.Observe(time.Since(pq.start).Seconds())
+		n.nm.queryHops.Observe(float64(env.Hops))
+		n.nm.firstByteHops.Observe(float64(env.Hops))
+		if n.cache != nil && env.From.Addr != n.self.Addr {
+			n.cache.insert(pq.target, env.From)
+		}
+		pq.cb(env.From, env.Hops, env.Path)
 	case proto.KindStoreReply:
-		n.inflight.Resolve(env.QueryID, store.Reply{
+		if !n.inflight.Resolve(env.QueryID, store.Reply{
 			Found: env.Found, Value: env.Value, Version: env.Version,
 			Owner: env.From, Hops: env.Hops, Path: env.Path,
-		})
+		}) {
+			n.nm.probeWasted.Inc()
+		}
 	case proto.KindReplicaSync:
 		n.handleReplicaSync(env)
 	}
@@ -235,6 +246,20 @@ func (n *Node) handleRoute(env *proto.Envelope) {
 			bestRule = class
 		}
 	}
+	// The route cache is consulted before the view scan, at the origin
+	// only (env.Hops == 0): origins are where answers populate it, so
+	// intermediate hops would only ever miss. The cached owner is just
+	// one more candidate under the strictly-closer rule — a stale entry
+	// loses the scan or fails the send (repairing the views), it cannot
+	// misroute or serve a stale owner.
+	if n.cache != nil && env.Hops == 0 {
+		if owner, ok := n.cache.lookup(env.Target); ok {
+			n.nm.cacheHits.Inc()
+			consider(owner, "cache")
+		} else {
+			n.nm.cacheMisses.Inc()
+		}
+	}
 	for _, v := range n.vn {
 		consider(v, "vn")
 	}
@@ -284,7 +309,7 @@ func (n *Node) handleRoute(env *proto.Envelope) {
 			Type: proto.KindLongLinkGrant, From: n.self, Link: env.Link, Hops: env.Hops,
 		})
 	case proto.PurposeQuery:
-		n.sendWithRetry(env.Origin.Addr, &proto.Envelope{
+		n.replyToOrigin(env.Origin.Addr, &proto.Envelope{
 			Type: proto.KindQueryAnswer, From: n.self, QueryID: env.QueryID,
 			Hops: env.Hops, Path: env.Path,
 		})
@@ -413,6 +438,13 @@ func (n *Node) integrateNewcomer(j proto.NodeInfo) {
 	pool := n.candidatePool()
 	pool[j.Addr] = j
 	changed := n.recomputeLocked(pool)
+	// Cache coherence on AddVoronoiRegion: regions the newcomer is now
+	// strictly closer to changed hands, so their cached owners are stale.
+	if n.cache != nil {
+		if dropped := n.cache.invalidateTakenOver(j.Pos); dropped > 0 {
+			n.nm.cacheInvalidations.Add(uint64(dropped))
+		}
+	}
 
 	// Lemma 1 exchange: send the newcomer every close-neighbour candidate
 	// we can see (ourselves and our cn entries within dmin of it).
@@ -682,13 +714,21 @@ func (n *Node) candidatePool() map[string]proto.NodeInfo {
 }
 
 // tombstoneLocked records a departure and evicts the address from all
-// views. Caller holds n.mu.
+// views, including the route cache — every departure path (graceful
+// leave, crash repair, tombstone gossip) funnels through here, so a dead
+// owner can never linger as a cached candidate. Caller holds n.mu (the
+// cache is a leaf lock).
 func (n *Node) tombstoneLocked(addr string) {
 	if n.tombs[addr] {
 		return
 	}
 	n.tombs[addr] = true
 	n.tombOrder = append(n.tombOrder, addr)
+	if n.cache != nil {
+		if dropped := n.cache.invalidateOwner(addr); dropped > 0 {
+			n.nm.cacheInvalidations.Add(uint64(dropped))
+		}
+	}
 }
 
 // purgeTombstonedLocked removes tombstoned addresses from the live views.

@@ -47,6 +47,16 @@ type nodeMetrics struct {
 	backMoves     *metrics.Counter   // node_blrn_moves_total: BLRn entries re-placed
 
 	traced *metrics.Counter // node_traced_routes_total: envelopes handled with Trace set
+
+	// The low-latency lookup stack: route-cache effectiveness, the cost
+	// of α-parallel speculation, and the latency-defining hop count of
+	// the first answer to arrive (which speculation and caching shrink;
+	// node_query_hops / store_*_hops keep recording whichever probe won).
+	cacheHits          *metrics.Counter   // node_cache_hits_total: origin found a cached owner for the target's cell
+	cacheMisses        *metrics.Counter   // node_cache_misses_total: origin consulted the cache and found nothing
+	cacheInvalidations *metrics.Counter   // node_cache_invalidations_total: entries dropped by view-change surgery
+	probeWasted        *metrics.Counter   // node_probe_wasted_total: answers for an already-resolved request
+	firstByteHops      *metrics.Histogram // node_first_byte_hops: hops of the first answer per read (Query / GET)
 }
 
 func newNodeMetrics() nodeMetrics {
@@ -76,6 +86,12 @@ func newNodeMetrics() nodeMetrics {
 		departTime:      r.Histogram("node_depart_repair_seconds", lat),
 		backMoves:       r.Counter("node_blrn_moves_total"),
 		traced:          r.Counter("node_traced_routes_total"),
+
+		cacheHits:          r.Counter("node_cache_hits_total"),
+		cacheMisses:        r.Counter("node_cache_misses_total"),
+		cacheInvalidations: r.Counter("node_cache_invalidations_total"),
+		probeWasted:        r.Counter("node_probe_wasted_total"),
+		firstByteHops:      r.Histogram("node_first_byte_hops", hops),
 	}
 	for k := proto.Kind(0); k < proto.KindCount; k++ {
 		nm.sentByKind[k] = r.Counter("node_send_" + k.String() + "_total")

@@ -63,6 +63,19 @@ type Config struct {
 	// fires once with HopsTimedOut — instead of leaking forever
 	// (default 5s).
 	QueryTimeout time.Duration
+	// Alpha is the speculative-routing fan-out: an idempotent read
+	// (Query, store GET) is dispatched from the origin to up to Alpha
+	// strictly-closer candidates at once; the first answer wins and late
+	// duplicates are counted in node_probe_wasted_total. Values <= 1
+	// keep the classic single-path greedy dispatch (the default).
+	// Writes always route single-path regardless.
+	Alpha int
+	// RouteCacheSize enables the hot-region owner cache with that many
+	// entries: origins remember which node answered for a target cell
+	// and feed it into the next greedy scan as an extra candidate (see
+	// cache.go for the coherence rules). 0 (the default) disables the
+	// cache entirely — byte-identical routing with prior releases.
+	RouteCacheSize int
 }
 
 // HopsTimedOut is the hop count a Query callback receives when its
@@ -130,6 +143,11 @@ type Node struct {
 	kv       *store.Local
 	inflight *store.Inflight
 
+	// cache is the hot-region owner cache (nil unless
+	// Config.RouteCacheSize > 0). It is a leaf lock: safe to consult
+	// under n.mu and from callback paths.
+	cache *routeCache
+
 	// nm caches the node's metric instruments (see metrics.go); the
 	// registry is exposed via Metrics() and the legacy Sent counter via
 	// SentCount().
@@ -140,11 +158,13 @@ type Node struct {
 // that reaps it if the answer never arrives (the owner crashed
 // mid-query): without the timer the entry — and everything the callback
 // closure captures — would leak forever. start feeds the query-latency
-// histogram; path is nil unless the query was traced.
+// histogram; target lets the winning answer populate the route cache;
+// path is nil unless the query was traced.
 type pendingQuery struct {
-	cb    func(owner proto.NodeInfo, hops int, path []proto.TraceHop)
-	start time.Time
-	timer *time.Timer
+	cb     func(owner proto.NodeInfo, hops int, path []proto.TraceHop)
+	start  time.Time
+	target geom.Point
+	timer  *time.Timer
 }
 
 // pendingRange is one registered RangeQuery callback with its reaping
@@ -211,6 +231,9 @@ func New(ep transport.Endpoint, pos geom.Point, cfg Config) *Node {
 		kv:        store.NewLocal(),
 		inflight:  store.NewInflight(),
 		nm:        newNodeMetrics(),
+	}
+	if cfg.RouteCacheSize > 0 {
+		n.cache = newRouteCache(cfg.RouteCacheSize, cfg.DMin)
 	}
 	ep.SetHandler(n.handle)
 	return n
@@ -335,7 +358,7 @@ func (n *Node) query(p geom.Point, trace bool, cb func(owner proto.NodeInfo, hop
 	n.queryMu.Lock()
 	n.querySeq++
 	id := n.querySeq
-	pq := &pendingQuery{cb: cb, start: time.Now()}
+	pq := &pendingQuery{cb: cb, start: time.Now(), target: p}
 	pq.timer = time.AfterFunc(n.cfg.QueryTimeout, func() {
 		n.queryMu.Lock()
 		reaped := n.queries[id] == pq
@@ -358,9 +381,98 @@ func (n *Node) query(p geom.Point, trace bool, cb func(owner proto.NodeInfo, hop
 		QueryID: id,
 		Trace:   trace,
 	}
-	// Start routing at ourselves.
-	n.handle(n.self.Addr, mustEncode(env))
+	// Start routing at ourselves (speculatively fanning out at Alpha > 1).
+	n.dispatchRouted(env)
 	return nil
+}
+
+// dispatchRouted starts routing env at this node. With cfg.Alpha > 1 and
+// an idempotent read purpose (Query, store GET), it additionally fans
+// speculative probes out to the next-best strictly-closer candidates in
+// the local view: the primary copy takes the classic greedy path through
+// handleRoute (whose scan will pick the single best candidate), and each
+// extra probe jumps straight to one runner-up candidate and continues
+// greedily from there. All probes carry the same QueryID, so the first
+// answer resolves the request at the origin and late duplicates are
+// dropped by the query/inflight tables (counted in
+// node_probe_wasted_total). Correctness never depends on a probe: the
+// primary path alone is the unmodified serial protocol.
+//
+// Writes (PUT/DELETE) and every other purpose stay single-path — a
+// duplicated write would apply twice and split the version chain. Traced
+// envelopes also stay single-path: a trace documents the greedy route,
+// and racing probes would make it nondeterministic.
+func (n *Node) dispatchRouted(env *proto.Envelope) {
+	speculate := n.cfg.Alpha > 1 && !env.Trace &&
+		(env.Purpose == proto.PurposeQuery || env.Purpose == proto.PurposeStoreGet)
+	if speculate && n.cache != nil {
+		// Cache-first: when the hot-region cache already names an owner
+		// for this target, the primary path below will route straight to
+		// it — fanning probes out on top would only burn bandwidth on the
+		// very keys the cache exists to shortcut. Speculation is for the
+		// cold keys the cache cannot help.
+		if _, ok := n.cache.lookup(env.Target); ok {
+			speculate = false
+		}
+	}
+	if speculate {
+		cands := n.alphaCandidates(env.Target, n.cfg.Alpha)
+		for i := 1; i < len(cands); i++ {
+			probe := *env
+			// The direct jump to the runner-up is itself one hop.
+			probe.Hops = 1
+			probe.From = n.self
+			if err := n.sendWithRetry(cands[i].Addr, &probe); err != nil {
+				// A dead candidate costs the probe, never the request:
+				// repair the views and move on — the primary path below
+				// re-scans after the repair.
+				n.NotifyDeparted(cands[i].Addr)
+			}
+		}
+	}
+	n.handle(n.self.Addr, mustEncode(env))
+}
+
+// alphaCandidates snapshots the up-to-alpha strictly-closer candidates
+// for target among vn ∪ cn ∪ long links, nearest first with ties broken
+// by address (the same deterministic order the greedy scan uses). The
+// head of the list is what handleRoute's scan will choose, so
+// speculative probes go to entries [1:].
+func (n *Node) alphaCandidates(target geom.Point, alpha int) []proto.NodeInfo {
+	n.mu.RLock()
+	selfD := geom.Dist2(n.self.Pos, target)
+	seen := make(map[string]bool, len(n.vn)+len(n.cn)+len(n.longNbrs))
+	cands := make([]proto.NodeInfo, 0, alpha*2)
+	consider := func(c proto.NodeInfo) {
+		if c.Addr == "" || c.Addr == n.self.Addr || seen[c.Addr] || n.tombs[c.Addr] {
+			return
+		}
+		if geom.Dist2(c.Pos, target) < selfD {
+			seen[c.Addr] = true
+			cands = append(cands, c)
+		}
+	}
+	for _, v := range n.vn {
+		consider(v)
+	}
+	for _, c := range n.cn {
+		consider(c)
+	}
+	for _, l := range n.longNbrs {
+		consider(l)
+	}
+	n.mu.RUnlock()
+	sort.Slice(cands, func(i, j int) bool {
+		di, dj := geom.Dist2(cands[i].Pos, target), geom.Dist2(cands[j].Pos, target)
+		if di != dj {
+			return di < dj
+		}
+		return cands[i].Addr < cands[j].Addr
+	})
+	if len(cands) > alpha {
+		cands = cands[:alpha]
+	}
+	return cands
 }
 
 // Leave departs the overlay: the node recomputes the tessellation around
@@ -466,6 +578,9 @@ func (n *Node) Leave() error {
 	n.cn = map[string]proto.NodeInfo{}
 	n.longNbrs = nil
 	n.longTargets = nil
+	if n.cache != nil {
+		n.cache.clear()
+	}
 	n.mu.Unlock()
 
 	for _, m := range out {

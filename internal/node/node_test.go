@@ -20,11 +20,19 @@ type cluster struct {
 	nodes []*Node
 	rng   *rand.Rand
 	seq   int
+	// cfgMut, when set before nodes are added, adjusts each node's config
+	// (e.g. enabling Alpha or RouteCacheSize for the lookup-stack tests).
+	cfgMut func(*Config)
 }
 
 func newCluster(t *testing.T, n int, dmin float64, seed int64) *cluster {
 	t.Helper()
-	c := &cluster{bus: transport.NewBus(), rng: rand.New(rand.NewSource(seed))}
+	return newClusterCfg(t, n, dmin, seed, nil)
+}
+
+func newClusterCfg(t *testing.T, n int, dmin float64, seed int64, cfgMut func(*Config)) *cluster {
+	t.Helper()
+	c := &cluster{bus: transport.NewBus(), rng: rand.New(rand.NewSource(seed)), cfgMut: cfgMut}
 	for i := 0; i < n; i++ {
 		pos := geom.Pt(c.rng.Float64(), c.rng.Float64())
 		c.addNode(t, pos, dmin)
@@ -44,8 +52,12 @@ func (c *cluster) addNode(t *testing.T, pos geom.Point, dmin float64) *Node {
 	// good; an effectively infinite query timeout keeps wall-clock reaper
 	// timers (whose async callbacks would race with test state) out of
 	// bus-driven tests. The reaper itself is tested in query_leak_test.go.
-	nd := New(ep, pos, Config{DMin: dmin, LongLinks: 1, Seed: int64(c.seq),
-		QueryTimeout: 365 * 24 * time.Hour})
+	cfg := Config{DMin: dmin, LongLinks: 1, Seed: int64(c.seq),
+		QueryTimeout: 365 * 24 * time.Hour}
+	if c.cfgMut != nil {
+		c.cfgMut(&cfg)
+	}
+	nd := New(ep, pos, cfg)
 	if len(c.nodes) == 0 {
 		if err := nd.Bootstrap(); err != nil {
 			t.Fatal(err)

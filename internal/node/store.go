@@ -1,6 +1,7 @@
 package node
 
 import (
+	"errors"
 	"math"
 	"sort"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"voronet/internal/geom"
 	"voronet/internal/proto"
 	"voronet/internal/store"
+	"voronet/internal/transport"
 )
 
 // maxSyncBatchBytes bounds the record payload of one KindReplicaSync
@@ -100,13 +102,23 @@ func (n *Node) storeOpTraced(purpose proto.RoutedPurpose, key geom.Point, value 
 	}
 	// Observe the op's round trip and route length on the way back to
 	// the caller; a timeout (or any error reply) counts separately and
-	// stays out of the latency book.
+	// stays out of the latency book. Successful replies also feed the
+	// route cache: the answering node is the best-known waypoint for
+	// this key's region (for a GET answered by an on-path replica it is
+	// a node adjacent to the owner, which the strictly-closer scan still
+	// routes through profitably).
 	start := time.Now()
 	inner := cb
 	instrumented := func(r store.Reply) {
 		if r.Err == nil {
 			n.nm.storeLatencyFor(purpose).Observe(time.Since(start).Seconds())
 			n.nm.storeHopsFor(purpose).Observe(float64(r.Hops))
+			if purpose == proto.PurposeStoreGet {
+				n.nm.firstByteHops.Observe(float64(r.Hops))
+			}
+			if n.cache != nil && r.Owner.Addr != "" && r.Owner.Addr != n.self.Addr {
+				n.cache.insert(key, r.Owner)
+			}
 		} else {
 			n.nm.storeTimeouts.Inc()
 		}
@@ -122,8 +134,9 @@ func (n *Node) storeOpTraced(purpose proto.RoutedPurpose, key geom.Point, value 
 		QueryID: id,
 		Trace:   trace,
 	}
-	// Start routing at ourselves (we may already own the key's region).
-	n.handle(n.self.Addr, mustEncode(env))
+	// Start routing at ourselves (we may already own the key's region);
+	// GETs fan out speculatively at Alpha > 1.
+	n.dispatchRouted(env)
 	return nil
 }
 
@@ -312,7 +325,28 @@ func (n *Node) handleStoreOwned(env *proto.Envelope) {
 			reply.Version = tomb.Version
 		}
 	}
-	n.sendWithRetry(env.Origin.Addr, reply)
+	n.replyToOrigin(env.Origin.Addr, reply)
+}
+
+// replyToOrigin delivers a reply (store ack/answer or query answer) to
+// the requesting origin. A failed reply used to vanish silently — the
+// send error was dropped and the origin just timed out. It is now
+// accounted (send() already counts it in node_send_errors_total) and a
+// structural failure triggers departure repair: ErrUnknownPeer means the
+// origin detached from the bus (crashed), ErrClosed that no frame can
+// ever be delivered again — in both cases the views around the origin
+// are worth repairing now rather than at the next routed operation
+// through it. Transient TCP failures already got their one retry inside
+// sendWithRetry; repairing on them too would tombstone live peers over a
+// dropped connection, so they are only counted.
+func (n *Node) replyToOrigin(origin string, reply *proto.Envelope) {
+	err := n.sendWithRetry(origin, reply)
+	if err == nil {
+		return
+	}
+	if errors.Is(err, transport.ErrUnknownPeer) || errors.Is(err, transport.ErrClosed) {
+		n.NotifyDeparted(origin)
+	}
 }
 
 // replyStoreHit answers a GET from this node's local record (owner or
@@ -327,7 +361,7 @@ func (n *Node) replyStoreHit(env *proto.Envelope, rec proto.StoreRecord) {
 		reply.Value = rec.Value
 		reply.Version = rec.Version
 	}
-	n.sendWithRetry(env.Origin.Addr, reply)
+	n.replyToOrigin(env.Origin.Addr, reply)
 }
 
 // handleReplicaSync merges pushed records; a handoff makes this node the

@@ -84,6 +84,24 @@ func (f *Inflight) Resolve(id uint64, r Reply) bool {
 	return true
 }
 
+// Cancel forgets the request registered under id without firing its
+// callback and reports whether it was still pending. Use it when the
+// request could not be dispatched at all (a failed send): the caller
+// already owns the error and no reply or timeout should fire for the ID.
+func (f *Inflight) Cancel(id uint64) bool {
+	f.mu.Lock()
+	req, ok := f.pending[id]
+	delete(f.pending, id)
+	f.mu.Unlock()
+	if !ok {
+		return false
+	}
+	if req.timer != nil {
+		req.timer.Stop()
+	}
+	return true
+}
+
 // Pending returns the number of unresolved requests.
 func (f *Inflight) Pending() int {
 	f.mu.Lock()

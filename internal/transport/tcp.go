@@ -118,21 +118,41 @@ func newEndpointMetrics(r *metrics.Registry) endpointMetrics {
 // coalescing: the first sender to reach an idle connection writes its
 // frame immediately and becomes the flusher; frames from senders that
 // arrive while that write syscall is in flight accumulate in pending and
-// are flushed together with a single Write once it returns. The flush
-// window is the duration of the in-flight write — coalescing adds no
-// latency when the connection is idle and batches exactly when the
-// connection is the bottleneck.
+// are flushed in batches once it returns. Coalescing adds no latency when
+// the connection is idle and batches exactly when the connection is the
+// bottleneck.
+//
+// Each flush batch is capped at maxCoalesceBytes: the backlog is drained
+// FIFO in bounded Writes rather than one unbounded Write, so a small
+// frame queued behind a burst of large ones waits for at most one capped
+// batch ahead of it, not for the entire backlog to hit the wire. (The
+// unbounded window was the mixed-load tail-latency bug: 128 KiB store
+// PUTs pooling in pending inflated a queued query's wait to the transfer
+// time of the whole pool.)
 type tcpConn struct {
 	c  net.Conn
 	em *endpointMetrics // owning endpoint's instruments (may be nil in tests)
 
-	mu       sync.Mutex // guards pending/waiters/flushing
+	mu       sync.Mutex // guards pending/flushing
 	flushing bool
-	pending  []byte
-	waiters  []chan error
+	pending  []pendingFrame
+	wbuf     []byte // flusher-private batch scratch (single flusher at a time)
 
 	wmu sync.Mutex // serialises writes in NoCoalesce mode
 }
+
+// pendingFrame is one queued frame awaiting a coalesced flush; done
+// receives the outcome of the Write call that carried its bytes.
+type pendingFrame struct {
+	buf  []byte
+	done chan error
+}
+
+// maxCoalesceBytes caps one coalesced flush batch. 64 KiB keeps the
+// syscall amortisation of group commit (dozens of small frames per
+// Write) while bounding how long any queued frame can be delayed by
+// bytes ahead of it in the same backlog.
+const maxCoalesceBytes = 64 << 10
 
 func (cc *tcpConn) queueGauge() *metrics.Gauge {
 	if cc.em == nil {
@@ -329,10 +349,9 @@ func (cc *tcpConn) writeCoalesced(frame []byte) error {
 	cc.mu.Lock()
 	if cc.flushing {
 		// A write is in flight: queue behind it and wait for the flush
-		// that carries our bytes.
+		// batch that carries our bytes.
 		done := make(chan error, 1)
-		cc.pending = append(cc.pending, frame...)
-		cc.waiters = append(cc.waiters, done)
+		cc.pending = append(cc.pending, pendingFrame{buf: frame, done: done})
 		cc.queueGauge().Add(int64(len(frame)))
 		cc.mu.Unlock()
 		return <-done
@@ -359,9 +378,11 @@ func (cc *tcpConn) writeCoalesced(frame []byte) error {
 	return err
 }
 
-// flushPending drains the pending buffer batch by batch: each batch goes
-// out in one Write and its waiters all observe that write's outcome. It
-// runs until the buffer is empty and then releases the flushing flag.
+// flushPending drains the pending queue batch by batch: each batch is the
+// longest FIFO prefix within maxCoalesceBytes (always at least one frame,
+// so an oversized frame still goes out alone), sent with one Write whose
+// outcome every frame in the batch observes. It runs until the queue is
+// empty and then releases the flushing flag.
 func (cc *tcpConn) flushPending() {
 	for {
 		cc.mu.Lock()
@@ -370,13 +391,29 @@ func (cc *tcpConn) flushPending() {
 			cc.mu.Unlock()
 			return
 		}
-		buf, ws := cc.pending, cc.waiters
-		cc.pending, cc.waiters = nil, nil
-		cc.queueGauge().Add(-int64(len(buf)))
+		batch, bytes := 1, len(cc.pending[0].buf)
+		for batch < len(cc.pending) && bytes+len(cc.pending[batch].buf) <= maxCoalesceBytes {
+			bytes += len(cc.pending[batch].buf)
+			batch++
+		}
+		frames := cc.pending[:batch:batch]
+		if cc.pending = cc.pending[batch:]; len(cc.pending) == 0 {
+			cc.pending = nil // release the backing array between bursts
+		}
+		cc.queueGauge().Add(-int64(bytes))
 		cc.mu.Unlock()
+
+		// Flatten into the flusher-private scratch: one Write per batch
+		// keeps group commit's syscall economics without net.Buffers
+		// (whose writev fast path only exists for real TCP conns).
+		buf := cc.wbuf[:0]
+		for _, f := range frames {
+			buf = append(buf, f.buf...)
+		}
 		_, werr := cc.c.Write(buf)
-		for _, done := range ws {
-			done <- werr
+		cc.wbuf = buf[:0]
+		for _, f := range frames {
+			f.done <- werr
 		}
 	}
 }

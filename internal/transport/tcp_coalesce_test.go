@@ -1,0 +1,174 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// gatedConn is a fake net.Conn whose first Write blocks until released,
+// forcing every concurrent writeCoalesced call after the first into the
+// pending queue — a deterministic way to build a large backlog and then
+// observe exactly how flushPending batches it.
+type gatedConn struct {
+	mu     sync.Mutex
+	writes []int // size of every completed Write
+	first  bool
+	gate   chan struct{}
+}
+
+func newGatedConn() *gatedConn {
+	return &gatedConn{gate: make(chan struct{})}
+}
+
+func (g *gatedConn) Write(p []byte) (int, error) {
+	g.mu.Lock()
+	block := !g.first
+	g.first = true
+	g.mu.Unlock()
+	if block {
+		<-g.gate
+	}
+	g.mu.Lock()
+	g.writes = append(g.writes, len(p))
+	g.mu.Unlock()
+	return len(p), nil
+}
+
+func (g *gatedConn) Read(p []byte) (int, error)         { select {} }
+func (g *gatedConn) Close() error                       { return nil }
+func (g *gatedConn) LocalAddr() net.Addr                { return nil }
+func (g *gatedConn) RemoteAddr() net.Addr               { return nil }
+func (g *gatedConn) SetDeadline(t time.Time) error      { return nil }
+func (g *gatedConn) SetReadDeadline(t time.Time) error  { return nil }
+func (g *gatedConn) SetWriteDeadline(t time.Time) error { return nil }
+
+// TestCoalesceBatchesBounded builds a backlog much larger than
+// maxCoalesceBytes behind a gated first write and verifies flushPending
+// drains it in Writes no larger than the cap — the bounded group-commit
+// window that keeps a small frame's queueing delay independent of the
+// total backlog size (the mixed-load tail-latency fix).
+func TestCoalesceBatchesBounded(t *testing.T) {
+	g := newGatedConn()
+	cc := &tcpConn{c: g}
+
+	const frames = 40
+	frame := make([]byte, 8<<10) // 8 KiB each → 320 KiB backlog, 5× the cap
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // becomes the inline writer, parks on the gate
+		defer wg.Done()
+		if err := cc.writeCoalesced(frame); err != nil {
+			t.Errorf("inline write: %v", err)
+		}
+	}()
+	// Wait until the inline writer holds the flushing flag.
+	for {
+		cc.mu.Lock()
+		f := cc.flushing
+		cc.mu.Unlock()
+		if f {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < frames; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := cc.writeCoalesced(frame); err != nil {
+				t.Errorf("queued write: %v", err)
+			}
+		}()
+	}
+	// Wait for all senders to be parked in pending, then open the gate.
+	for {
+		cc.mu.Lock()
+		n := len(cc.pending)
+		cc.mu.Unlock()
+		if n == frames {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(g.gate)
+	wg.Wait()
+
+	g.mu.Lock()
+	writes := append([]int(nil), g.writes...)
+	g.mu.Unlock()
+	if len(writes) < 2 {
+		t.Fatalf("expected the backlog to flush in multiple writes, got %d", len(writes))
+	}
+	total := 0
+	for i, w := range writes {
+		total += w
+		if i == 0 {
+			continue // the inline write is a single frame by construction
+		}
+		if w > maxCoalesceBytes {
+			t.Fatalf("flush write %d is %d bytes, exceeds maxCoalesceBytes=%d", i, w, maxCoalesceBytes)
+		}
+	}
+	if want := (frames + 1) * len(frame); total != want {
+		t.Fatalf("bytes written = %d, want %d (no frame lost or duplicated)", total, want)
+	}
+	// The cap should actually bite: with a 320 KiB backlog and a 64 KiB
+	// window the drain needs at least 5 flush batches.
+	if min := 1 + frames*len(frame)/maxCoalesceBytes; len(writes) < min {
+		t.Fatalf("backlog drained in %d writes, want >= %d capped batches", len(writes), min)
+	}
+}
+
+// TestCoalesceOversizedFrameAlone verifies a single frame larger than the
+// batch cap is still sent (alone), not starved by the bound.
+func TestCoalesceOversizedFrameAlone(t *testing.T) {
+	g := newGatedConn()
+	cc := &tcpConn{c: g}
+
+	small := make([]byte, 64)
+	big := make([]byte, maxCoalesceBytes+4096)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := cc.writeCoalesced(small); err != nil {
+			t.Errorf("inline write: %v", err)
+		}
+	}()
+	for {
+		cc.mu.Lock()
+		f := cc.flushing
+		cc.mu.Unlock()
+		if f {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := cc.writeCoalesced(big); err != nil {
+			t.Errorf("oversized write: %v", err)
+		}
+	}()
+	for {
+		cc.mu.Lock()
+		n := len(cc.pending)
+		cc.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(g.gate)
+	wg.Wait()
+
+	g.mu.Lock()
+	writes := append([]int(nil), g.writes...)
+	g.mu.Unlock()
+	if len(writes) != 2 || writes[1] != len(big) {
+		t.Fatalf("writes = %v, want [%d %d]", writes, len(small), len(big))
+	}
+}
