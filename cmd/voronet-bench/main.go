@@ -62,6 +62,7 @@ var (
 	storeZipf    = flag.Float64("store-zipf", 0, "key skew: 0 = distinct uniform keys, >0 = Zipf(α) popularity over -store-keys hot keys (-store)")
 	storeKeys    = flag.Int("store-keys", 1024, "distinct keys under -store-zipf")
 	storeFictive = flag.Bool("store-fictive", false, "resolve owners via the paper's fictive insert/remove dance (serial paper-fidelity mode)")
+	storeCache   = flag.Int("store-cache", 0, "hot-region owner cache entries on the store (-store; 0 disables)")
 	chaosMode    = flag.Bool("chaos", false, "run the chaos scenario battery, one JSON line per scenario on stdout")
 	chaosName    = flag.String("scenario", "", "run only the named chaos scenario (-chaos)")
 	chaosSeed    = flag.Int64("chaos-seed", 0, "offset added to every scenario seed (-chaos)")
@@ -394,6 +395,11 @@ func runStoreBench() {
 	buildSecs := time.Since(buildStart).Seconds()
 
 	st := voronet.NewStore(ov, *storeRep)
+	if *storeCache > 0 {
+		// The simulator mirror of the distributed route cache: Zipf
+		// workloads (-store-zipf) are where it earns its keep.
+		st.SetRouteCache(*storeCache)
+	}
 	// The registry is optional so the same binary measures both sides of
 	// the instrumentation overhead budget (-store-metrics=false is the
 	// baseline the <5% criterion in DESIGN.md compares against).
@@ -475,7 +481,15 @@ func runStoreBench() {
 		"mixed_p95_us":      round3(mixed.p95us),
 		"mixed_p99_us":      round3(mixed.p99us),
 		"metrics_enabled":   *storeMetrics,
+		"store_cache":       *storeCache,
 		"unix_millis":       time.Now().UnixMilli(),
+	}
+	if *storeCache > 0 {
+		cs := st.RouteCacheStats()
+		line["cache_hits"] = cs.Hits
+		line["cache_misses"] = cs.Misses
+		line["cache_jumps"] = cs.Jumps
+		line["cache_entries"] = cs.Entries
 	}
 	if reg != nil {
 		line["metrics"] = reg.Snapshot()
@@ -538,6 +552,13 @@ func runChaos() {
 			line["store_errors"] = final.StoreErrors
 		}
 		line["sends"] = res.Sends
+		if res.SyncFullBytes > 0 {
+			// Durable scenarios probe the anti-entropy byte cost both
+			// ways: digest-first vs the full-push baseline.
+			line["sync_digest_bytes"] = res.SyncDigestBytes
+			line["sync_full_bytes"] = res.SyncFullBytes
+			line["sync_ratio"] = round3(float64(res.SyncDigestBytes) / float64(res.SyncFullBytes))
+		}
 		line["metrics"] = res.Metrics
 		if !res.Passed {
 			failed++

@@ -31,6 +31,12 @@
 // With -debug-addr the node also serves live introspection over HTTP:
 // GET /metrics returns the merged node + transport snapshot as JSON, and
 // /debug/pprof/ exposes the standard Go profiles.
+//
+// With -wal-dir the node is durable: every acked PUT/DELETE is logged to
+// a write-ahead log there before the ack leaves, and a restart from the
+// same directory replays the log into the store and rejoins with a fresh
+// incarnation number. SIGTERM/SIGINT trigger a graceful shutdown: stop
+// admitting new work, flush the WAL, hand records off via Leave, exit.
 package main
 
 import (
@@ -40,8 +46,10 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"voronet"
@@ -51,6 +59,7 @@ import (
 	"voronet/internal/node"
 	"voronet/internal/proto"
 	"voronet/internal/transport"
+	"voronet/internal/wal"
 )
 
 var (
@@ -66,6 +75,11 @@ var (
 	connect   = flag.String("connect", "", "run as a pipelined client of the overlay member at this address (no join)")
 	alpha     = flag.Int("alpha", 1, "speculative parallel probes per read (<=1 disables)")
 	cacheSize = flag.Int("route-cache", 0, "route/owner cache entries (0 disables)")
+
+	walDir      = flag.String("wal-dir", "", "write-ahead log directory: log every acked write, replay on restart")
+	walFsync    = flag.String("wal-fsync", "always", "WAL fsync policy: always|batch|never (-wal-dir)")
+	walFlush    = flag.Duration("wal-flush", time.Second, "periodic WAL flush period under -wal-fsync=batch")
+	maxInflight = flag.Int("max-inflight", 0, "shed store work beyond this many inflight ops (0 disables)")
 )
 
 func main() {
@@ -80,14 +94,55 @@ func main() {
 	}
 	defer ep.Close()
 
-	nd := node.New(ep, geom.Pt(*x, *y), node.Config{
+	cfg := node.Config{
 		DMin:           voronet.DefaultDMin(*nmax),
 		LongLinks:      *links,
 		Seed:           time.Now().UnixNano(),
 		Alpha:          *alpha,
 		RouteCacheSize: *cacheSize,
-	})
+		MaxInflight:    *maxInflight,
+	}
+	var nd *node.Node
+	if *walDir != "" {
+		policy, err := wal.ParsePolicy(*walFsync)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.WALDir = *walDir
+		cfg.WALSync = policy
+		var stats wal.ReplayStats
+		nd, stats, err = node.NewDurable(ep, geom.Pt(*x, *y), cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wal %s: replayed %d records, gen %d (torn=%v corrupt=%d)\n",
+			*walDir, stats.Records, stats.Generation, stats.Truncated, stats.CorruptFrames)
+		if policy == wal.SyncBatch && *walFlush > 0 {
+			go func() {
+				for range time.Tick(*walFlush) {
+					nd.WALSync()
+				}
+			}()
+		}
+	} else {
+		nd = node.New(ep, geom.Pt(*x, *y), cfg)
+	}
 	fmt.Printf("node %s at (%g, %g)\n", nd.Info().Addr, *x, *y)
+
+	// Graceful shutdown: stop admitting origin-side store work, flush the
+	// WAL, hand every held record off through Leave, then exit — a node
+	// killed this way loses no acked write even under -wal-fsync=batch.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		s := <-sigc
+		fmt.Printf("\n%s: draining and leaving\n", s)
+		if err := nd.Shutdown(); err != nil {
+			fmt.Fprintln(os.Stderr, "voronet-node: shutdown:", err)
+		}
+		time.Sleep(200 * time.Millisecond) // let notifications flush
+		os.Exit(0)
+	}()
 
 	if *debugAddr != "" {
 		dbg, err := metrics.ServeDebug(*debugAddr,
@@ -110,9 +165,18 @@ func main() {
 			fatal(err)
 		}
 		deadline := time.Now().Add(10 * time.Second)
+		resend := time.Now().Add(time.Second)
 		for !nd.Joined() {
 			if time.Now().After(deadline) {
 				fatal(fmt.Errorf("join via %s timed out", *join))
+			}
+			if time.Now().After(resend) {
+				// The join request or its grant can be lost (a crashed
+				// sponsor, a stale connection at the sponsor after our own
+				// restart): re-send until admitted. Admission is idempotent
+				// and duplicate grants are ignored.
+				_ = nd.Join(*join)
+				resend = time.Now().Add(time.Second)
 			}
 			time.Sleep(10 * time.Millisecond)
 		}
@@ -277,7 +341,9 @@ func main() {
 			}
 			fmt.Println(string(out))
 		case "leave":
-			if err := nd.Leave(); err != nil {
+			// Shutdown is Leave plus the durable steps (drain, flush,
+			// close the WAL); on a non-durable node the extras are no-ops.
+			if err := nd.Shutdown(); err != nil {
 				fmt.Println("leave:", err)
 			}
 			time.Sleep(200 * time.Millisecond) // let notifications flush

@@ -17,7 +17,9 @@
 package client
 
 import (
+	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"voronet/internal/geom"
@@ -29,6 +31,10 @@ import (
 // DefaultTimeout is the per-request deadline when Options.Timeout is zero.
 const DefaultTimeout = 30 * time.Second
 
+// DefaultRetryBackoff is the first retry delay when Options.Retries > 0
+// and Options.RetryBackoff is zero. Each further attempt doubles it.
+const DefaultRetryBackoff = 50 * time.Millisecond
+
 // Options tunes Dial.
 type Options struct {
 	// Listen is the TCP address the client receives replies on
@@ -37,6 +43,14 @@ type Options struct {
 	Listen string
 	// Timeout is the per-request deadline (DefaultTimeout when zero).
 	Timeout time.Duration
+	// Retries is how many times an operation refused with
+	// store.ErrOverloaded (an admission-control shed, not a failure) is
+	// transparently re-dispatched before the error reaches the caller.
+	// Zero disables retrying.
+	Retries int
+	// RetryBackoff is the delay before the first retry, doubling on each
+	// further attempt (DefaultRetryBackoff when zero and Retries > 0).
+	RetryBackoff time.Duration
 }
 
 // Client is a pipelined connection to a VoroNet overlay. Methods are safe
@@ -48,6 +62,9 @@ type Client struct {
 	timeout  time.Duration
 	inflight *store.Inflight
 	self     proto.NodeInfo
+	retries  int
+	backoff  time.Duration
+	retried  atomic.Uint64
 
 	mu     sync.Mutex
 	closed bool
@@ -65,6 +82,7 @@ func Dial(gateway string, opts Options) (*Client, error) {
 		return nil, err
 	}
 	c := New(ep, gateway, opts.Timeout)
+	c.SetRetryPolicy(opts.Retries, opts.RetryBackoff)
 	c.ownEP = true
 	return c, nil
 }
@@ -86,6 +104,20 @@ func New(ep transport.Endpoint, gateway string, timeout time.Duration) *Client {
 	ep.SetHandler(c.handle)
 	return c
 }
+
+// SetRetryPolicy configures transparent retrying of overload sheds for a
+// client built with New (Dial wires it from Options): up to retries
+// re-dispatches per operation, the first after backoff, doubling each
+// attempt. Call before issuing operations.
+func (c *Client) SetRetryPolicy(retries int, backoff time.Duration) {
+	if retries > 0 && backoff <= 0 {
+		backoff = DefaultRetryBackoff
+	}
+	c.retries, c.backoff = retries, backoff
+}
+
+// Retried returns how many overload-shed retries this client has issued.
+func (c *Client) Retried() uint64 { return c.retried.Load() }
 
 // Addr returns the client's reply address.
 func (c *Client) Addr() string { return c.self.Addr }
@@ -115,10 +147,16 @@ func (c *Client) handle(from string, payload []byte) {
 	}
 	switch env.Type {
 	case proto.KindStoreReply:
-		c.inflight.Resolve(env.QueryID, store.Reply{
+		r := store.Reply{
 			Found: env.Found, Value: env.Value, Version: env.Version,
 			Owner: env.From, Hops: env.Hops, Path: env.Path,
-		})
+		}
+		if env.Shed {
+			// The owner refused the op under overload: an explicit
+			// retry-later error, which the retry policy may absorb.
+			r.Err = store.ErrOverloaded
+		}
+		c.inflight.Resolve(env.QueryID, r)
 	case proto.KindQueryAnswer:
 		// A point query's answer: the owner itself is the payload.
 		c.inflight.Resolve(env.QueryID, store.Reply{
@@ -132,13 +170,41 @@ func (c *Client) handle(from string, payload []byte) {
 // returns the error — cb fires exactly once (reply or deadline) iff
 // dispatch returned nil.
 func (c *Client) dispatch(purpose proto.RoutedPurpose, key geom.Point, value []byte, cb func(store.Reply)) error {
+	if cb == nil {
+		cb = func(store.Reply) {}
+	}
+	return c.dispatchAttempt(purpose, key, value, cb, 0)
+}
+
+// dispatchAttempt is dispatch with retry bookkeeping: while attempts
+// remain, an ErrOverloaded reply (origin-gateway or owner shed) is
+// absorbed and the operation re-dispatched after an exponentially grown
+// backoff instead of reaching the caller. Each attempt is a fresh
+// request with its own deadline; the caller's callback still fires
+// exactly once.
+func (c *Client) dispatchAttempt(purpose proto.RoutedPurpose, key geom.Point, value []byte, cb func(store.Reply), attempt int) error {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return transport.ErrClosed
 	}
 	c.mu.Unlock()
-	id := c.inflight.Add(cb, c.timeout)
+	inner := cb
+	if attempt < c.retries {
+		inner = func(r store.Reply) {
+			if !errors.Is(r.Err, store.ErrOverloaded) {
+				cb(r)
+				return
+			}
+			c.retried.Add(1)
+			time.AfterFunc(c.backoff<<attempt, func() {
+				if err := c.dispatchAttempt(purpose, key, value, cb, attempt+1); err != nil {
+					cb(store.Reply{Err: err})
+				}
+			})
+		}
+	}
+	id := c.inflight.Add(inner, c.timeout)
 	env := &proto.Envelope{
 		Type:    proto.KindRoute,
 		Purpose: purpose,

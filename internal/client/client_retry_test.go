@@ -1,0 +1,213 @@
+package client_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"voronet/internal/client"
+	"voronet/internal/geom"
+	"voronet/internal/proto"
+	"voronet/internal/store"
+	"voronet/internal/transport"
+)
+
+// shedGateway is a scripted overlay stand-in on the bus: it answers each
+// routed store op with an overload shed until its budget runs out, then
+// with a normal ack. It lets the retry tests control exactly how many
+// sheds a single logical operation sees.
+type shedGateway struct {
+	ep    transport.Endpoint
+	mu    sync.Mutex
+	sheds int // remaining replies to refuse
+	seen  int // routed requests received
+}
+
+func newShedGateway(t *testing.T, bus *transport.Bus, sheds int) *shedGateway {
+	t.Helper()
+	ep, err := bus.Attach("gw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &shedGateway{ep: ep, sheds: sheds}
+	ep.SetHandler(func(from string, payload []byte) {
+		env, err := proto.Decode(payload)
+		if err != nil || env.Type != proto.KindRoute {
+			return
+		}
+		reply := &proto.Envelope{
+			Type:    proto.KindStoreReply,
+			From:    proto.NodeInfo{Addr: "gw"},
+			QueryID: env.QueryID,
+		}
+		g.mu.Lock()
+		g.seen++
+		if g.sheds > 0 {
+			g.sheds--
+			reply.Shed = true
+		} else {
+			reply.Found = true
+			reply.Version = 1
+		}
+		g.mu.Unlock()
+		b, err := proto.Encode(reply)
+		if err != nil {
+			t.Errorf("encode reply: %v", err)
+			return
+		}
+		_ = g.ep.Send(env.Origin.Addr, b)
+	})
+	return g
+}
+
+func (g *shedGateway) requests() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.seen
+}
+
+// drainUntil pumps the bus (retry timers are wall-clock, so delivery
+// alternates with real sleeps) until done reports true or the deadline
+// passes.
+func drainUntil(t *testing.T, bus *transport.Bus, done func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !done() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached before deadline")
+		}
+		bus.Drain()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestClientRetriesOverloadShed: an op refused with an overload shed is
+// transparently re-dispatched and eventually succeeds, with the shed
+// count visible via Retried().
+func TestClientRetriesOverloadShed(t *testing.T) {
+	bus := transport.NewBus()
+	gw := newShedGateway(t, bus, 2)
+	cep, err := bus.Attach("client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := client.New(cep, "gw", 2*time.Second)
+	defer cl.Close()
+	cl.SetRetryPolicy(3, time.Millisecond)
+
+	var mu sync.Mutex
+	var got *store.Reply
+	if err := cl.Put(geom.Pt(0.5, 0.5), []byte("v"), func(r store.Reply) {
+		mu.Lock()
+		got = &r
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	drainUntil(t, bus, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return got != nil
+	})
+	if got.Err != nil || !got.Found {
+		t.Fatalf("retried put reply = %+v, want success", *got)
+	}
+	if n := cl.Retried(); n != 2 {
+		t.Fatalf("Retried() = %d, want 2 (one per shed)", n)
+	}
+	if n := gw.requests(); n != 3 {
+		t.Fatalf("gateway saw %d requests, want 3 (2 sheds + success)", n)
+	}
+	if cl.Pending() != 0 {
+		t.Fatalf("pending = %d after resolution, want 0", cl.Pending())
+	}
+}
+
+// TestClientRetryBudgetExhausted: when every attempt is shed, the caller
+// sees store.ErrOverloaded exactly once, after retries+1 dispatches.
+func TestClientRetryBudgetExhausted(t *testing.T) {
+	bus := transport.NewBus()
+	gw := newShedGateway(t, bus, 100)
+	cep, err := bus.Attach("client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := client.New(cep, "gw", 2*time.Second)
+	defer cl.Close()
+	cl.SetRetryPolicy(2, time.Millisecond)
+
+	var mu sync.Mutex
+	calls := 0
+	var last store.Reply
+	if err := cl.Put(geom.Pt(0.25, 0.75), []byte("v"), func(r store.Reply) {
+		mu.Lock()
+		calls++
+		last = r
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	drainUntil(t, bus, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return calls > 0
+	})
+	// Give any stray extra callback a moment to fire before asserting
+	// exactly-once.
+	time.Sleep(10 * time.Millisecond)
+	bus.Drain()
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 1 {
+		t.Fatalf("callback fired %d times, want exactly once", calls)
+	}
+	if !errors.Is(last.Err, store.ErrOverloaded) {
+		t.Fatalf("reply err = %v, want store.ErrOverloaded", last.Err)
+	}
+	if n := cl.Retried(); n != 2 {
+		t.Fatalf("Retried() = %d, want 2", n)
+	}
+	if n := gw.requests(); n != 3 {
+		t.Fatalf("gateway saw %d requests, want 3 (initial + 2 retries)", n)
+	}
+}
+
+// TestClientNoRetryByDefault: without a retry policy a shed surfaces as
+// store.ErrOverloaded on the first reply — the default client never
+// re-dispatches on its own.
+func TestClientNoRetryByDefault(t *testing.T) {
+	bus := transport.NewBus()
+	gw := newShedGateway(t, bus, 1)
+	cep, err := bus.Attach("client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := client.New(cep, "gw", 2*time.Second)
+	defer cl.Close()
+
+	var mu sync.Mutex
+	var got *store.Reply
+	if err := cl.Put(geom.Pt(0.1, 0.9), []byte("v"), func(r store.Reply) {
+		mu.Lock()
+		got = &r
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	bus.Drain()
+	mu.Lock()
+	defer mu.Unlock()
+	if got == nil {
+		t.Fatal("no reply after drain")
+	}
+	if !errors.Is(got.Err, store.ErrOverloaded) {
+		t.Fatalf("reply err = %v, want store.ErrOverloaded", got.Err)
+	}
+	if n := cl.Retried(); n != 0 {
+		t.Fatalf("Retried() = %d, want 0", n)
+	}
+	if n := gw.requests(); n != 1 {
+		t.Fatalf("gateway saw %d requests, want 1", n)
+	}
+}

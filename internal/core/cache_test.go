@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"voronet/internal/geom"
+	"voronet/internal/workload"
+)
+
+// TestRouteCacheCollapsesHotRoutes: with the owner cache installed, a
+// repeated resolution of the same hot target from a far origin collapses
+// to a single hop (the jump to the cached owner), while the resolved
+// owner stays identical to the uncached walk's.
+func TestRouteCacheCollapsesHotRoutes(t *testing.T) {
+	o := newTestOverlay(5000)
+	rng := rand.New(rand.NewSource(301))
+	ids := fill(t, o, &workload.Uniform{Rand: rng}, 1200)
+
+	r := o.NewRouter()
+	target := geom.Pt(0.875, 0.125)
+	from := ids[0]
+	cold, err := r.RouteToPoint(from, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	o.SetRouteCache(128)
+	warmup, err := r.RouteToPoint(from, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmup.Owner != cold.Owner {
+		t.Fatalf("cached-mode owner %d != uncached owner %d", warmup.Owner, cold.Owner)
+	}
+	hot, err := r.RouteToPoint(from, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot.Owner != cold.Owner {
+		t.Fatalf("hot owner %d != cold owner %d", hot.Owner, cold.Owner)
+	}
+	if cold.Hops > 1 && hot.Hops != 1 {
+		t.Fatalf("hot resolve took %d hops, want 1 (cold took %d)", hot.Hops, cold.Hops)
+	}
+	st := o.RouteCacheStats()
+	if st.Hits == 0 || st.Jumps == 0 {
+		t.Fatalf("stats = %+v, want hits and jumps", st)
+	}
+	if st.Entries == 0 {
+		t.Fatalf("stats = %+v, want resident entries", st)
+	}
+}
+
+// TestRouteCacheSurvivesOwnerRemoval: removing the cached owner must
+// invalidate its entries; resolution afterwards still names the correct
+// new owner whether or not the cell was cached.
+func TestRouteCacheSurvivesOwnerRemoval(t *testing.T) {
+	o := newTestOverlay(5000)
+	rng := rand.New(rand.NewSource(302))
+	ids := fill(t, o, &workload.Uniform{Rand: rng}, 600)
+	o.SetRouteCache(64)
+
+	r := o.NewRouter()
+	target := geom.Pt(0.3, 0.7)
+	from := ids[len(ids)-1]
+	first, err := r.RouteToPoint(from, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Remove(first.Owner); err != nil {
+		t.Fatal(err)
+	}
+	after, err := r.RouteToPoint(from, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Owner == first.Owner {
+		t.Fatalf("resolve still names removed object %d", first.Owner)
+	}
+	want, err := o.Owner(target, NoObject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Owner != want {
+		t.Fatalf("post-removal owner %d, reference says %d", after.Owner, want)
+	}
+}
+
+// TestRouteCacheStoreAgreement: the store with the cache enabled must
+// return exactly the data an uncached store does under a Zipf-skewed
+// workload with churn mixed in — the cache may only change hop counts.
+func TestRouteCacheStoreAgreement(t *testing.T) {
+	build := func(cacheSize int) (*Store, []ObjectID, *rand.Rand) {
+		o := newTestOverlay(5000)
+		rng := rand.New(rand.NewSource(303))
+		ids := fill(t, o, &workload.Uniform{Rand: rng}, 400)
+		s := NewStore(o, 0)
+		if cacheSize > 0 {
+			s.SetRouteCache(cacheSize)
+		}
+		return s, ids, rng
+	}
+	run := func(s *Store, ids []ObjectID, rng *rand.Rand) map[geom.Point]string {
+		keys := make([]geom.Point, 24)
+		for i := range keys {
+			keys[i] = geom.Pt(rng.Float64(), rng.Float64())
+		}
+		out := make(map[geom.Point]string)
+		for op := 0; op < 400; op++ {
+			k := keys[rng.Intn(len(keys))]
+			from := ids[rng.Intn(len(ids))]
+			switch rng.Intn(3) {
+			case 0, 1:
+				val := []byte{byte(op), byte(op >> 8)}
+				if _, _, err := s.Put(from, k, val); err != nil {
+					t.Fatal(err)
+				}
+				out[k] = string(val)
+			default:
+				v, _, err := s.Get(from, k)
+				if err == nil {
+					out[k] = string(v)
+				}
+			}
+		}
+		return out
+	}
+	sc, idsC, rngC := build(128)
+	su, idsU, rngU := build(0)
+	got := run(sc, idsC, rngC)
+	want := run(su, idsU, rngU)
+	if len(got) != len(want) {
+		t.Fatalf("cached run tracked %d keys, uncached %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("key %v: cached=%q uncached=%q", k, got[k], v)
+		}
+	}
+	if st := sc.RouteCacheStats(); st.Hits == 0 {
+		t.Fatalf("cached store recorded no hits: %+v", st)
+	}
+}

@@ -187,6 +187,11 @@ type Overlay struct {
 
 	grid *closeIndex
 
+	// cache is the optional shared hot-region owner cache (see cache.go);
+	// nil unless SetRouteCache installed one. Routers read the pointer on
+	// every resolve, so install it before driving load.
+	cache *ownerCache
+
 	counters Counters
 
 	nbuf []delaunay.VertexID // scratch (write-locked paths only)
@@ -565,6 +570,10 @@ func (o *Overlay) remove(id ObjectID) error {
 	obj := o.objs[id]
 	if obj == nil {
 		return ErrNotFound
+	}
+	if o.cache != nil {
+		// A departed owner must not linger even as a jump hint.
+		o.cache.invalidateOwner(id)
 	}
 
 	// Collect the Voronoi neighbours before surgery.

@@ -68,18 +68,41 @@ func (r *Router) RouteToPoint(from ObjectID, target geom.Point) (RouteResult, er
 
 // resolve routes from `from` towards target and names Obj(target). Caller
 // holds (at least) the overlay read lock.
+//
+// With an owner cache installed (Overlay.SetRouteCache) the walk first
+// consults it: a cached owner strictly closer to the target than the
+// origin is jumped to directly — one hop, charged honestly — and the
+// greedy walk continues from there. On a cache hit for the true owner
+// the whole route collapses to that single hop. The resolved owner
+// (re)populates the cache on every successful resolve.
 func (r *Router) resolve(from ObjectID, target geom.Point) (RouteResult, error) {
 	cur := r.o.objs[from]
 	if cur == nil {
 		return RouteResult{}, ErrNotFound
 	}
+	jump := 0
+	if c := r.o.cache; c != nil {
+		if id, ok := c.lookup(target); ok {
+			if hint := r.o.objs[id]; hint != nil &&
+				geom.Dist2(hint.Pos, target) < geom.Dist2(cur.Pos, target) {
+				cur = hint
+				jump = 1
+				c.jumps.Add(1)
+			}
+		}
+	}
 	hops, err := r.o.routeToPoint(&r.rt, &cur, target)
+	hops += jump
 	if err != nil {
 		return RouteResult{Hops: hops}, err
 	}
 	var v delaunay.VertexID
 	v, r.nbuf = r.o.tr.NearestSiteRO(target, cur.vert, r.nbuf)
-	return RouteResult{Stop: cur.ID, Owner: r.o.byVertex[v], Hops: hops}, nil
+	owner := r.o.byVertex[v]
+	if c := r.o.cache; c != nil {
+		c.insert(target, owner)
+	}
+	return RouteResult{Stop: cur.ID, Owner: owner, Hops: hops}, nil
 }
 
 // AlphaRouteResult reports one α-parallel point resolution

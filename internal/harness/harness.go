@@ -20,6 +20,8 @@ package harness
 import (
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"sort"
 	"time"
 
@@ -48,7 +50,14 @@ type Scenario struct {
 	// Positions names the workload source for node positions (default
 	// "uniform").
 	Positions string
-	Steps     []Step
+	// Durable gives every node a write-ahead log in a private temp
+	// directory (removed when the run ends): nodes are built with
+	// node.NewDurable, crashes stop untracking keys (the records survive
+	// on disk), and the Restart step can bring crashed members back at
+	// their old addresses with their stores recovered. WAL paths are
+	// host-specific and never appear in the transcript.
+	Durable bool
+	Steps   []Step
 }
 
 // Step is one scenario action. Implementations live in steps.go.
@@ -69,6 +78,10 @@ type Result struct {
 	Checks []CheckReport
 	// Workload counters across all Workload steps.
 	Ops, OpsLost, OpsFailed int
+	// SyncDigestBytes / SyncFullBytes accumulate the SyncBytes probes:
+	// what the anti-entropy sweeps measured there would have cost on the
+	// wire in digest mode versus full-push mode.
+	SyncDigestBytes, SyncFullBytes uint64
 	// Sends, Delivered, Dropped and VirtualTime snapshot the bus at the
 	// end. The run fails unless Sends == Delivered + Dropped (the
 	// message-conservation invariant; a settled run has nothing pending).
@@ -86,7 +99,12 @@ type member struct {
 	nd    *node.Node
 	ep    transport.Endpoint
 	addr  string
+	idx   int
 	alive bool
+	// crashed marks a member killed by Crash (as opposed to a graceful
+	// Leave): in a Durable scenario its WAL survives and Restart may
+	// revive it at the same address.
+	crashed bool
 }
 
 // expectation tracks what the harness believes about one stored key.
@@ -107,6 +125,14 @@ type Run struct {
 	tr  *transcript
 
 	members []*member
+	// walRoot is the run's private WAL directory (Durable scenarios
+	// only); each member logs under walRoot/<addr>. Removed when the run
+	// ends, and never written to the transcript.
+	walRoot string
+	// retired holds the metric registries of node instances replaced by
+	// Restart: the bus counted their traffic, so reconciliation (and the
+	// merged snapshot) must keep counting them too.
+	retired []*metrics.Registry
 	// zipf is the lazily created hot-key source shared by all zipf
 	// Workload steps of the run (same key set throughout).
 	zipf *workload.ZipfKeys
@@ -158,8 +184,18 @@ func (s Scenario) Run() (*Result, error) {
 		expected: make(map[geom.Point]*expectation),
 		res:      &Result{},
 	}
-	r.tr.logf("scenario %s seed=%d dmin=%.4f longlinks=%d replication=%d positions=%s",
-		s.Name, s.Seed, s.DMin, s.LongLinks, s.Replication, s.Positions)
+	if s.Durable {
+		// The WAL root is host state, not scenario state: its path must
+		// never leak into the transcript (byte-identical replays).
+		dir, err := os.MkdirTemp("", "voronet-chaos-wal-")
+		if err != nil {
+			return nil, fmt.Errorf("harness: wal root: %w", err)
+		}
+		defer os.RemoveAll(dir)
+		r.walRoot = dir
+	}
+	r.tr.logf("scenario %s seed=%d dmin=%.4f longlinks=%d replication=%d positions=%s durable=%v",
+		s.Name, s.Seed, s.DMin, s.LongLinks, s.Replication, s.Positions, s.Durable)
 	for i, st := range s.Steps {
 		if err := st.run(r); err != nil {
 			return nil, fmt.Errorf("harness: scenario %s step %d: %w", s.Name, i+1, err)
@@ -198,8 +234,13 @@ func (r *Run) reconcileMetrics() {
 	}
 	merged := r.bus.MetricsSnapshot()
 	var sent, self, errs uint64
+	regs := make([]*metrics.Registry, 0, len(r.members)+len(r.retired))
+	regs = append(regs, r.retired...)
 	for _, m := range r.members {
-		snap := m.nd.Metrics().Snapshot()
+		regs = append(regs, m.nd.Metrics())
+	}
+	for _, reg := range regs {
+		snap := reg.Snapshot()
 		sent += snap.Counters["node_sent_total"]
 		self += snap.Counters["node_send_self_total"]
 		errs += snap.Counters["node_send_errors_total"]
@@ -248,27 +289,48 @@ func (r *Run) fail(format string, args ...any) {
 	r.tr.logf("FAIL %s", msg)
 }
 
-// addNode attaches and joins one node; via is the sponsor address ("" for
-// bootstrap). Join completion is verified after the caller drains.
-func (r *Run) addNode() (*member, error) {
-	addr := fmt.Sprintf("n%03d", len(r.members))
-	ep, err := r.bus.Attach(addr)
-	if err != nil {
-		return nil, err
-	}
-	pos := r.src.Next()
-	nd := node.New(ep, pos, node.Config{
+// nodeConfig builds the Config for the member at index idx — shared by
+// addNode and Restart so a revived node runs exactly the configuration
+// its predecessor did.
+func (r *Run) nodeConfig(idx int, addr string) node.Config {
+	cfg := node.Config{
 		DMin:        r.scn.DMin,
 		LongLinks:   r.scn.LongLinks,
-		Seed:        r.scn.Seed + int64(len(r.members)),
+		Seed:        r.scn.Seed + int64(idx),
 		Replication: r.scn.Replication,
 		// Replies either arrive during the drain or are lost to a fault;
 		// effectively infinite timeouts keep wall-clock timers (which
 		// would be nondeterministic) out of the run entirely.
 		StoreTimeout: 365 * 24 * time.Hour,
 		QueryTimeout: 365 * 24 * time.Hour,
-	})
-	m := &member{nd: nd, ep: ep, addr: addr, alive: true}
+	}
+	if r.scn.Durable {
+		cfg.WALDir = filepath.Join(r.walRoot, addr)
+	}
+	return cfg
+}
+
+// addNode attaches and joins one node; via is the sponsor address ("" for
+// bootstrap). Join completion is verified after the caller drains.
+func (r *Run) addNode() (*member, error) {
+	idx := len(r.members)
+	addr := fmt.Sprintf("n%03d", idx)
+	ep, err := r.bus.Attach(addr)
+	if err != nil {
+		return nil, err
+	}
+	pos := r.src.Next()
+	cfg := r.nodeConfig(idx, addr)
+	var nd *node.Node
+	if r.scn.Durable {
+		nd, _, err = node.NewDurable(ep, pos, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("durable node %s: %w", addr, err)
+		}
+	} else {
+		nd = node.New(ep, pos, cfg)
+	}
+	m := &member{nd: nd, ep: ep, addr: addr, idx: idx, alive: true}
 	r.members = append(r.members, m)
 	return m, nil
 }

@@ -139,6 +139,30 @@ func Scenarios() []Scenario {
 			},
 		},
 		{
+			// Durable nodes with 2 KiB payloads: a quarter of the overlay
+			// crashes abruptly, then every victim restarts from its
+			// write-ahead log at its old address and rejoins — no acked
+			// write may be lost, the final check must be fully green, and
+			// a converged no-diff anti-entropy sweep must cost at most
+			// 0.15× of the full-record push (the digest acceptance bound).
+			Name: "crash-restart", Seed: 109, Durable: true,
+			Steps: []Step{
+				Join{N: 24},
+				Workload{Ops: 150, GetFrac: 0.2, ValueBytes: 2048},
+				Settle{},
+				Check{},
+				Crash{Count: 6},
+				Settle{},
+				Restart{},
+				Settle{},
+				Check{},
+				SyncBytes{MaxRatio: 0.15},
+				Workload{Ops: 60, GetFrac: 0.5, ValueBytes: 2048},
+				Settle{},
+				Check{},
+			},
+		},
+		{
 			// Grow, shrink by graceful leaves, regrow: placement and
 			// routing must be exact at every plateau.
 			Name: "elastic", Seed: 108,

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"voronet/internal/geom"
+	"voronet/internal/node"
 	"voronet/internal/store"
 	"voronet/internal/transport"
 	"voronet/internal/workload"
@@ -129,40 +130,48 @@ func (s Crash) run(r *Run) error {
 	// copies outside the replica set survive, the key stays tracked but
 	// its value becomes indeterminate — anti-entropy may resurrect an
 	// older version, which is recovery, not corruption.
-	ref, err := r.buildReference()
-	if err != nil {
-		return err
-	}
-	for _, k := range r.sortedExpectedKeys() {
-		var surviving []string
-		for _, h := range r.holdersOf(k) {
-			if !victimSet[h] {
-				surviving = append(surviving, h)
-			}
+	//
+	// In a Durable scenario none of that applies: every acked write was
+	// logged before its ack, the victims' WALs survive the crash, and a
+	// later Restart recovers the records byte-exact — so every tracked
+	// key stays tracked at full confidence.
+	if !r.scn.Durable {
+		ref, err := r.buildReference()
+		if err != nil {
+			return err
 		}
-		if len(surviving) == 0 {
-			delete(r.expected, k)
-			r.tr.logf("crash loses key=(%.6f,%.6f): every copy on a victim", k.X, k.Y)
-			continue
-		}
-		owner := ref.ownerOf(k)
-		requiredDead := victimSet[owner.addr]
-		if requiredDead {
-			for _, m := range ref.replicaSet(owner, k, r.scn.Replication) {
-				if !victimSet[m.addr] {
-					requiredDead = false
-					break
+		for _, k := range r.sortedExpectedKeys() {
+			var surviving []string
+			for _, h := range r.holdersOf(k) {
+				if !victimSet[h] {
+					surviving = append(surviving, h)
 				}
 			}
-		}
-		if requiredDead {
-			r.expected[k].sure = false
-			r.tr.logf("crash orphans key=(%.6f,%.6f): replica set dead, %d stale copies survive", k.X, k.Y, len(surviving))
+			if len(surviving) == 0 {
+				delete(r.expected, k)
+				r.tr.logf("crash loses key=(%.6f,%.6f): every copy on a victim", k.X, k.Y)
+				continue
+			}
+			owner := ref.ownerOf(k)
+			requiredDead := victimSet[owner.addr]
+			if requiredDead {
+				for _, m := range ref.replicaSet(owner, k, r.scn.Replication) {
+					if !victimSet[m.addr] {
+						requiredDead = false
+						break
+					}
+				}
+			}
+			if requiredDead {
+				r.expected[k].sure = false
+				r.tr.logf("crash orphans key=(%.6f,%.6f): replica set dead, %d stale copies survive", k.X, k.Y, len(surviving))
+			}
 		}
 	}
 	for _, v := range victims {
 		v.ep.Close()
 		v.alive = false
+		v.crashed = true
 		r.tr.logf("crash %s", v.addr)
 	}
 	for _, m := range r.live() {
@@ -297,6 +306,11 @@ type Workload struct {
 	GetFrac float64
 	Alpha   float64 // zipf skew (default 1.2)
 	Keys    int     // zipf key-set size (default 16)
+	// ValueBytes pads every put value to this size (0 keeps the bare
+	// 7-byte sequence tag). Realistic payloads matter to the SyncBytes
+	// measurement: with tiny values the wire cost of a full push is all
+	// envelope framing and the digest ratio is meaningless.
+	ValueBytes int
 }
 
 func (s Workload) run(r *Run) error {
@@ -344,7 +358,7 @@ func (s Workload) run(r *Run) error {
 		}
 		if !isGet {
 			key := keysrc.Next()
-			if r.doPut(m, key) {
+			if r.doPut(m, key, s.ValueBytes) {
 				acked++
 			} else {
 				lost++
@@ -372,10 +386,14 @@ func (r *Run) getKey(src workload.Source) (geom.Point, bool) {
 }
 
 // doPut issues one routed put and drains; it reports whether the ack
-// arrived.
-func (r *Run) doPut(m *member, key geom.Point) bool {
+// arrived. valueBytes > 0 pads the value to that size (the sequence tag
+// keeps every put distinguishable).
+func (r *Run) doPut(m *member, key geom.Point, valueBytes int) bool {
 	r.opSeq++
 	val := []byte(fmt.Sprintf("v%06d", r.opSeq))
+	if valueBytes > len(val) {
+		val = append(val, bytes.Repeat([]byte{'.'}, valueBytes-len(val))...)
+	}
 	var rep store.Reply
 	done := false
 	if err := m.nd.Put(key, val, func(rp store.Reply) { rep = rp; done = true }); err != nil {
@@ -503,6 +521,101 @@ func (s Check) run(r *Run) error {
 	return nil
 }
 
+// Restart revives crashed members of a Durable scenario at their old
+// addresses: each victim reattaches to the bus, replays its write-ahead
+// log into a fresh store (the recovered record count is asserted and
+// logged — paths never are), and rejoins through a random live sponsor.
+// The persisted incarnation counter bumped by the WAL open is what lets
+// the survivors, who tombstoned the old incarnation, admit the new one.
+// Count 0 restarts every crashed member, in join order.
+type Restart struct{ Count int }
+
+func (s Restart) run(r *Run) error {
+	if !r.scn.Durable {
+		return fmt.Errorf("restart: scenario is not durable")
+	}
+	var victims []*member
+	for _, m := range r.members {
+		if !m.alive && m.crashed {
+			victims = append(victims, m)
+		}
+	}
+	if s.Count > 0 && s.Count < len(victims) {
+		victims = victims[:s.Count]
+	}
+	if len(victims) == 0 {
+		return fmt.Errorf("restart: no crashed members to revive")
+	}
+	for _, m := range victims {
+		ep, err := r.bus.Attach(m.addr)
+		if err != nil {
+			return fmt.Errorf("restart %s: %w", m.addr, err)
+		}
+		pos := m.nd.Info().Pos
+		held := len(m.nd.StoreSnapshot())
+		nd, stats, err := node.NewDurable(ep, pos, r.nodeConfig(m.idx, m.addr))
+		if err != nil {
+			return fmt.Errorf("restart %s: %w", m.addr, err)
+		}
+		if stats.Records < held {
+			r.fail("restart %s: replayed %d records, held %d at crash", m.addr, stats.Records, held)
+		}
+		live := r.live()
+		via := live[r.rng.Intn(len(live))].addr
+		if err := nd.Join(via); err != nil {
+			return fmt.Errorf("restart %s join: %w", m.addr, err)
+		}
+		r.bus.Drain()
+		if !nd.Joined() {
+			r.fail("restart: %s failed to rejoin via %s", m.addr, via)
+			// The failed instance still sent join traffic the bus counted.
+			r.retired = append(r.retired, nd.Metrics())
+			ep.Close()
+			continue
+		}
+		// The dead instance's registry already reconciled traffic with the
+		// bus; keep its books when the slot is taken over.
+		r.retired = append(r.retired, m.nd.Metrics())
+		m.nd, m.ep, m.alive, m.crashed = nd, ep, true, false
+		r.tr.logf("restart %s recovered=%d torn=%v corrupt=%d gen=%d via=%s",
+			m.addr, stats.Records, stats.Truncated, stats.CorruptFrames, stats.Generation, via)
+	}
+	r.bus.Drain()
+	r.tr.logf("restarted n=%d live=%d %s", len(victims), len(r.live()), r.busLine())
+	return nil
+}
+
+// SyncBytes probes every live node's anti-entropy cost in both modes
+// (digest opener vs full-record push — node.SyncReplicasProbe encodes
+// the envelopes without sending) and fails the run when digest/full
+// exceeds MaxRatio. Run it on a converged store: the digest bytes then
+// are the entire recurring cost of a no-diff sweep.
+type SyncBytes struct{ MaxRatio float64 }
+
+func (s SyncBytes) run(r *Run) error {
+	var digest, full int
+	for _, m := range r.live() {
+		d, f := m.nd.SyncReplicasProbe()
+		digest += d
+		full += f
+	}
+	r.res.SyncDigestBytes += uint64(digest)
+	r.res.SyncFullBytes += uint64(full)
+	ratio := 0.0
+	if full > 0 {
+		ratio = float64(digest) / float64(full)
+	}
+	r.tr.logf("syncbytes digest=%d full=%d ratio=%.4f", digest, full, ratio)
+	if full == 0 {
+		r.fail("syncbytes: no records to probe (vacuous measurement)")
+		return nil
+	}
+	if s.MaxRatio > 0 && ratio > s.MaxRatio {
+		r.fail("syncbytes: digest/full = %d/%d = %.4f exceeds %.4f", digest, full, ratio, s.MaxRatio)
+	}
+	return nil
+}
+
 // ensure all step types satisfy Step.
 var (
 	_ Step = Join{}
@@ -516,4 +629,6 @@ var (
 	_ Step = Workload{}
 	_ Step = Settle{}
 	_ Step = Check{}
+	_ Step = Restart{}
+	_ Step = SyncBytes{}
 )

@@ -23,13 +23,31 @@ import (
 func (n *Node) NotifyDeparted(addr string) {
 	start := time.Now()
 	n.mu.Lock()
-	if !n.joined || addr == n.self.Addr || n.tombs[addr] {
+	if !n.joined || addr == n.self.Addr {
 		n.mu.Unlock()
 		return
 	}
+	if n.tombs[addr] {
+		// Idempotence — unless a newer incarnation of the address has
+		// since rejoined our views; its crash is fresh news.
+		v, inVN := n.vn[addr]
+		c, inCN := n.cn[addr]
+		if !(inVN && v.Gen > n.tombGen[addr]) && !(inCN && c.Gen > n.tombGen[addr]) {
+			n.mu.Unlock()
+			return
+		}
+	}
 	defer func() { n.nm.departTime.Observe(time.Since(start).Seconds()) }()
 	gone, wasVN := n.vn[addr]
-	n.tombstoneLocked(addr)
+	// Tombstone the incarnation we knew; a durably restarted successor
+	// (higher generation) stays admissible.
+	gen := gone.Gen
+	if !wasVN {
+		if c, ok := n.cn[addr]; ok {
+			gen = c.Gen
+		}
+	}
+	n.tombstoneLocked(addr, gen)
 	// Build the pool before dropping the dead peer's list: its old
 	// neighbours are exactly the other border nodes of the hole.
 	pool := n.candidatePool()
@@ -62,7 +80,7 @@ func (n *Node) NotifyDeparted(addr string) {
 	if wasVN {
 		vns = n.vnList()
 	}
-	dep := n.departedLocked()
+	dep, depGen := n.departedLocked()
 	self := n.self
 	targets := make([]geom.Point, len(relink))
 	for i, j := range relink {
@@ -73,7 +91,7 @@ func (n *Node) NotifyDeparted(addr string) {
 	for _, v := range vns {
 		// Best effort: further dead peers are repaired by their own
 		// notifications.
-		_ = n.send(v.Addr, &proto.Envelope{Type: proto.KindNeighborList, From: self, Neighbors: vns, Departed: dep})
+		_ = n.send(v.Addr, &proto.Envelope{Type: proto.KindNeighborList, From: self, Neighbors: vns, Departed: dep, DepartedGen: depGen})
 	}
 	for i, j := range relink {
 		env := &proto.Envelope{

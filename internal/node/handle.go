@@ -43,25 +43,53 @@ func (n *Node) deliver(env *proto.Envelope) {
 	}
 	if needTombWork {
 		n.mu.Lock()
-		// Merge the sender's tombstones: gossip must not resurrect the dead.
+		// Merge the sender's tombstones: gossip must not resurrect the
+		// dead. Each entry kills one incarnation (Departed[i] at
+		// DepartedGen[i], generation 0 when absent) — if we can see a
+		// newer incarnation of the address alive in our views, the news
+		// predates its durable restart and is ignored.
 		selfDeparted := false
-		for _, d := range env.Departed {
-			if d != n.self.Addr {
-				n.tombstoneLocked(d)
-			}
+		for i, d := range env.Departed {
 			if d == env.From.Addr {
 				selfDeparted = true
 			}
+			if d == n.self.Addr {
+				continue
+			}
+			var g uint64
+			if i < len(env.DepartedGen) {
+				g = env.DepartedGen[i]
+			}
+			if v, ok := n.vn[d]; ok && v.Gen > g {
+				continue
+			}
+			if v, ok := n.cn[d]; ok && v.Gen > g {
+				continue
+			}
+			n.tombstoneLocked(d, g)
 		}
 		// A message from a tombstoned address proves it is alive again
 		// (rejoined at the same address): lift the tombstone — unless the
-		// sender lists itself as departed, a farewell message from a node on
-		// its way out.
-		if !selfDeparted && env.Type != proto.KindLeave && env.Type != proto.KindLeaveCN && n.tombs[env.From.Addr] {
-			delete(n.tombs, env.From.Addr)
+		// sender lists itself as departed (a farewell message from a node
+		// on its way out), or the message is a straggler from the dead
+		// incarnation itself (sender generation below the one that died).
+		lifted := false
+		if !selfDeparted && env.Type != proto.KindLeave && env.Type != proto.KindLeaveCN &&
+			n.tombs[env.From.Addr] && env.From.Gen >= n.tombGen[env.From.Addr] {
+			n.liftTombLocked(env.From.Addr)
+			lifted = true
 		}
 		n.purgeTombstonedLocked()
 		n.mu.Unlock()
+		if lifted {
+			// Lifting alone is not enough: while the address was
+			// tombstoned, every piece of gossip naming it (SetNeighbors,
+			// CNAdd candidates, view recomputes) was dropped, so nothing
+			// downstream will ever put the rejoined node back into our
+			// view. Its first direct message carries its identity —
+			// integrate it as a newcomer and recompute now.
+			n.integrateNewcomer(env.From)
+		}
 	}
 
 	switch env.Type {
@@ -82,7 +110,7 @@ func (n *Node) deliver(env *proto.Envelope) {
 	case proto.KindLeaveCN:
 		n.mu.Lock()
 		delete(n.cn, env.From.Addr)
-		n.tombstoneLocked(env.From.Addr)
+		n.tombstoneLocked(env.From.Addr, env.From.Gen)
 		n.purgeTombstonedLocked()
 		n.mu.Unlock()
 	case proto.KindLongLinkGrant:
@@ -122,9 +150,13 @@ func (n *Node) deliver(env *proto.Envelope) {
 				}
 			}
 			if !fromDeparted {
+				var fg []uint64
+				if self.Gen > 0 {
+					fg = []uint64{self.Gen}
+				}
 				_ = n.send(env.From.Addr, &proto.Envelope{
 					Type: proto.KindBackTransfer, From: self, Back: env.Back,
-					Departed: []string{self.Addr},
+					Departed: []string{self.Addr}, DepartedGen: fg,
 				})
 			}
 			return
@@ -181,14 +213,24 @@ func (n *Node) deliver(env *proto.Envelope) {
 		}
 		pq.cb(env.From, env.Hops, env.Path)
 	case proto.KindStoreReply:
-		if !n.inflight.Resolve(env.QueryID, store.Reply{
+		r := store.Reply{
 			Found: env.Found, Value: env.Value, Version: env.Version,
 			Owner: env.From, Hops: env.Hops, Path: env.Path,
-		}) {
+		}
+		if env.Shed {
+			// The owner refused the op under overload: surface the
+			// explicit fast error, not a silent not-found.
+			r.Err = store.ErrOverloaded
+		}
+		if !n.inflight.Resolve(env.QueryID, r) {
 			n.nm.probeWasted.Inc()
 		}
 	case proto.KindReplicaSync:
 		n.handleReplicaSync(env)
+	case proto.KindSyncDigest:
+		n.handleSyncDigest(env)
+	case proto.KindSyncPull:
+		n.handleSyncPull(env)
 	}
 }
 
@@ -232,8 +274,18 @@ func (n *Node) handleRoute(env *proto.Envelope) {
 	// the per-hop trace's routing rule ("owner" when no candidate beats
 	// self).
 	bestRule := "owner"
+	// A join must be admitted by the current owner of the joiner's
+	// region — never routed to the joiner itself, which is not in the
+	// overlay yet and would drop it. The joiner can appear in views
+	// mid-join when it is a durable restart: the tombstone lift above
+	// integrated it the moment its join request arrived, and its target
+	// (its own position) is at distance zero from itself.
+	skip := ""
+	if env.Purpose == proto.PurposeJoin {
+		skip = env.Origin.Addr
+	}
 	consider := func(c proto.NodeInfo, class string) {
-		if c.Addr == "" || c.Addr == n.self.Addr || n.tombs[c.Addr] {
+		if c.Addr == "" || c.Addr == n.self.Addr || c.Addr == skip || n.deadLocked(c) {
 			return
 		}
 		d := geom.Dist2(c.Pos, env.Target)
@@ -400,12 +452,12 @@ func (n *Node) handleJoinGrant(env *proto.Envelope) {
 	n.longTargets = targets
 	n.longNbrs = make([]proto.NodeInfo, len(targets))
 	vns := n.vnList()
-	dep := n.departedLocked()
+	dep, depGen := n.departedLocked()
 	n.mu.Unlock()
 
 	// Freshness: our neighbours need our list in their two-hop tables.
 	for _, v := range vns {
-		n.send(v.Addr, &proto.Envelope{Type: proto.KindNeighborList, From: n.self, Neighbors: vns, Departed: dep})
+		n.send(v.Addr, &proto.Envelope{Type: proto.KindNeighborList, From: n.self, Neighbors: vns, Departed: dep, DepartedGen: depGen})
 	}
 	// Long links: route each search starting at ourselves.
 	for jdx, tgt := range targets {
@@ -434,6 +486,17 @@ func (n *Node) integrateNewcomer(j proto.NodeInfo) {
 	if !n.joined || j.Addr == n.self.Addr {
 		n.mu.Unlock()
 		return
+	}
+	if n.tombs[j.Addr] {
+		if j.Gen <= n.tombGen[j.Addr] {
+			// Stale gossip about a dead incarnation: integrating it would
+			// resurrect a crashed node until the next purge killed it
+			// again. Only a strictly newer generation — a durably
+			// restarted successor — overrides a tombstone here.
+			n.mu.Unlock()
+			return
+		}
+		n.liftTombLocked(j.Addr)
 	}
 	pool := n.candidatePool()
 	pool[j.Addr] = j
@@ -468,11 +531,11 @@ func (n *Node) integrateNewcomer(j proto.NodeInfo) {
 	if changed {
 		vns = n.vnList()
 	}
-	dep := n.departedLocked()
+	dep, depGen := n.departedLocked()
 	n.mu.Unlock()
 
 	for _, v := range vns {
-		n.send(v.Addr, &proto.Envelope{Type: proto.KindNeighborList, From: n.self, Neighbors: vns, Departed: dep})
+		n.send(v.Addr, &proto.Envelope{Type: proto.KindNeighborList, From: n.self, Neighbors: vns, Departed: dep, DepartedGen: depGen})
 	}
 	if len(cand) > 0 {
 		n.send(j.Addr, &proto.Envelope{Type: proto.KindCNAdd, From: n.self, CloseCand: cand})
@@ -538,13 +601,13 @@ func (n *Node) handleNeighborList(env *proto.Envelope) {
 	if mentionsUs && !nowNbr {
 		rebut = n.vnList()
 	}
-	dep := n.departedLocked()
+	dep, depGen := n.departedLocked()
 	n.mu.Unlock()
 	for _, v := range vns {
-		n.send(v.Addr, &proto.Envelope{Type: proto.KindNeighborList, From: n.self, Neighbors: vns, Departed: dep})
+		n.send(v.Addr, &proto.Envelope{Type: proto.KindNeighborList, From: n.self, Neighbors: vns, Departed: dep, DepartedGen: depGen})
 	}
 	if rebut != nil {
-		n.send(env.From.Addr, &proto.Envelope{Type: proto.KindNeighborList, From: n.self, Neighbors: rebut, Departed: dep})
+		n.send(env.From.Addr, &proto.Envelope{Type: proto.KindNeighborList, From: n.self, Neighbors: rebut, Departed: dep, DepartedGen: depGen})
 	}
 	n.sendBackMoves(moves)
 }
@@ -563,7 +626,7 @@ func (n *Node) handleCNAdd(env *proto.Envelope) {
 		// can still carry the dead address; since the preamble no longer
 		// purges on every message (only when tombstone work arrives),
 		// nothing downstream would evict it.
-		if n.tombs[c.Addr] {
+		if n.deadLocked(c) {
 			continue
 		}
 		if geom.Dist(c.Pos, n.self.Pos) > n.cfg.DMin {
@@ -670,7 +733,7 @@ func (n *Node) handleLeave(env *proto.Envelope) {
 		return
 	}
 	gone := env.From.Addr
-	n.tombstoneLocked(gone)
+	n.tombstoneLocked(gone, env.From.Gen)
 	// Build the pool *before* dropping the departed node's list: its old
 	// neighbours are exactly the other border nodes of the hole.
 	pool := n.candidatePool()
@@ -680,11 +743,11 @@ func (n *Node) handleLeave(env *proto.Envelope) {
 	delete(n.cn, gone)
 	n.recomputeLocked(pool)
 	vns := n.vnList()
-	dep := n.departedLocked()
+	dep, depGen := n.departedLocked()
 	n.mu.Unlock()
 	for _, v := range vns {
 		n.send(v.Addr, &proto.Envelope{
-			Type: proto.KindNeighborList, From: n.self, Neighbors: vns, Departed: dep,
+			Type: proto.KindNeighborList, From: n.self, Neighbors: vns, Departed: dep, DepartedGen: depGen,
 		})
 	}
 	// Store repair: records the departed node owned lost their owner-side
@@ -699,13 +762,13 @@ func (n *Node) candidatePool() map[string]proto.NodeInfo {
 	pool := make(map[string]proto.NodeInfo, 1+len(n.vn)*6)
 	pool[n.self.Addr] = n.self
 	for a, v := range n.vn {
-		if !n.tombs[a] {
+		if !n.deadLocked(v) {
 			pool[a] = v
 		}
 	}
 	for _, lst := range n.twoHop {
 		for _, v := range lst {
-			if _, ok := pool[v.Addr]; !ok && !n.tombs[v.Addr] {
+			if _, ok := pool[v.Addr]; !ok && !n.deadLocked(v) {
 				pool[v.Addr] = v
 			}
 		}
@@ -718,11 +781,20 @@ func (n *Node) candidatePool() map[string]proto.NodeInfo {
 // leave, crash repair, tombstone gossip) funnels through here, so a dead
 // owner can never linger as a cached candidate. Caller holds n.mu (the
 // cache is a leaf lock).
-func (n *Node) tombstoneLocked(addr string) {
+func (n *Node) tombstoneLocked(addr string, gen uint64) {
 	if n.tombs[addr] {
+		// Already dead — but a later incarnation may have died since;
+		// remember the highest generation seen dead so its gossip
+		// cannot be shadowed by the older tombstone.
+		if gen > n.tombGen[addr] {
+			n.tombGen[addr] = gen
+		}
 		return
 	}
 	n.tombs[addr] = true
+	if gen > 0 {
+		n.tombGen[addr] = gen
+	}
 	n.tombOrder = append(n.tombOrder, addr)
 	if n.cache != nil {
 		if dropped := n.cache.invalidateOwner(addr); dropped > 0 {
@@ -731,20 +803,42 @@ func (n *Node) tombstoneLocked(addr string) {
 	}
 }
 
+// liftTombLocked removes a tombstone entirely — presence, generation and
+// the re-advertisement queue entry — so this node stops gossiping the
+// departure of an address it has seen alive again. Caller holds n.mu.
+func (n *Node) liftTombLocked(addr string) {
+	delete(n.tombs, addr)
+	delete(n.tombGen, addr)
+	for i, a := range n.tombOrder {
+		if a == addr {
+			n.tombOrder = append(n.tombOrder[:i], n.tombOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// deadLocked reports whether c refers to a tombstoned incarnation: the
+// address is tombstoned and c's generation is not newer than the one
+// that died. A NodeInfo carrying a higher generation is a durably
+// restarted successor and passes. Caller holds n.mu (read or write).
+func (n *Node) deadLocked(c proto.NodeInfo) bool {
+	return n.tombs[c.Addr] && c.Gen <= n.tombGen[c.Addr]
+}
+
 // purgeTombstonedLocked removes tombstoned addresses from the live views.
 // Caller holds n.mu.
 func (n *Node) purgeTombstonedLocked() {
 	if len(n.tombs) == 0 {
 		return
 	}
-	for a := range n.vn {
-		if n.tombs[a] {
+	for a, v := range n.vn {
+		if n.deadLocked(v) {
 			delete(n.vn, a)
 			delete(n.twoHop, a)
 		}
 	}
-	for a := range n.cn {
-		if n.tombs[a] {
+	for a, v := range n.cn {
+		if n.deadLocked(v) {
 			delete(n.cn, a)
 		}
 	}
@@ -754,16 +848,28 @@ func (n *Node) purgeTombstonedLocked() {
 // message; older ones have long since propagated.
 const maxAdvertisedTombs = 64
 
-// departedLocked snapshots the most recent tombstones. Caller holds n.mu.
-func (n *Node) departedLocked() []string {
+// departedLocked snapshots the most recent tombstones with the
+// generations they died at (nil gens when all zero, keeping the wire
+// format of gen-free overlays unchanged). Caller holds n.mu.
+func (n *Node) departedLocked() ([]string, []uint64) {
 	if len(n.tombOrder) == 0 {
-		return nil
+		return nil, nil
 	}
 	start := 0
 	if len(n.tombOrder) > maxAdvertisedTombs {
 		start = len(n.tombOrder) - maxAdvertisedTombs
 	}
-	return append([]string(nil), n.tombOrder[start:]...)
+	addrs := append([]string(nil), n.tombOrder[start:]...)
+	var gens []uint64
+	for i, a := range addrs {
+		if g := n.tombGen[a]; g > 0 {
+			if gens == nil {
+				gens = make([]uint64, len(addrs))
+			}
+			gens[i] = g
+		}
+	}
+	return addrs, gens
 }
 
 // recomputeLocked rebuilds vn from the pool and reports whether the set

@@ -57,6 +57,18 @@ type nodeMetrics struct {
 	cacheInvalidations *metrics.Counter   // node_cache_invalidations_total: entries dropped by view-change surgery
 	probeWasted        *metrics.Counter   // node_probe_wasted_total: answers for an already-resolved request
 	firstByteHops      *metrics.Histogram // node_first_byte_hops: hops of the first answer per read (Query / GET)
+
+	// Durability (see durable.go) and overload shedding.
+	walAppends       *metrics.Counter   // wal_appends_total: records logged
+	walErrs          *metrics.Counter   // wal_errors_total: append/sync/compact failures (durability degraded, availability kept)
+	walFsync         *metrics.Histogram // wal_fsync_seconds: per-fsync wall time
+	walReplayed      *metrics.Counter   // wal_replayed_records_total: records recovered at startup
+	walCorrupt       *metrics.Counter   // wal_corrupt_frames_total: bad frames skipped by replay
+	walTorn          *metrics.Counter   // wal_torn_tails_total: benign crash-truncated final frames
+	walCompactions   *metrics.Counter   // wal_compactions_total
+	walTombGC        *metrics.Counter   // wal_tombstones_gced_total: tombstones purged by two-phase GC
+	antiEntropyBytes *metrics.Counter   // node_antientropy_bytes_total: replica-maintenance bytes sent (digest + pull + records)
+	storeShed        *metrics.Counter   // store_shed_total: ops refused by admission control (origin or owner side)
 }
 
 func newNodeMetrics() nodeMetrics {
@@ -92,6 +104,17 @@ func newNodeMetrics() nodeMetrics {
 		cacheInvalidations: r.Counter("node_cache_invalidations_total"),
 		probeWasted:        r.Counter("node_probe_wasted_total"),
 		firstByteHops:      r.Histogram("node_first_byte_hops", hops),
+
+		walAppends:       r.Counter("wal_appends_total"),
+		walErrs:          r.Counter("wal_errors_total"),
+		walFsync:         r.Histogram("wal_fsync_seconds", lat),
+		walReplayed:      r.Counter("wal_replayed_records_total"),
+		walCorrupt:       r.Counter("wal_corrupt_frames_total"),
+		walTorn:          r.Counter("wal_torn_tails_total"),
+		walCompactions:   r.Counter("wal_compactions_total"),
+		walTombGC:        r.Counter("wal_tombstones_gced_total"),
+		antiEntropyBytes: r.Counter("node_antientropy_bytes_total"),
+		storeShed:        r.Counter("store_shed_total"),
 	}
 	for k := proto.Kind(0); k < proto.KindCount; k++ {
 		nm.sentByKind[k] = r.Counter("node_send_" + k.String() + "_total")

@@ -34,11 +34,14 @@ import (
 	"sync"
 	"time"
 
+	"sync/atomic"
+
 	"voronet/internal/delaunay"
 	"voronet/internal/geom"
 	"voronet/internal/proto"
 	"voronet/internal/store"
 	"voronet/internal/transport"
+	"voronet/internal/wal"
 )
 
 // Config parameterises a node.
@@ -76,6 +79,35 @@ type Config struct {
 	// cache.go for the coherence rules). 0 (the default) disables the
 	// cache entirely — byte-identical routing with prior releases.
 	RouteCacheSize int
+	// WALDir, when non-empty and the node is built with NewDurable,
+	// holds the write-ahead log: every acked PUT/DELETE (and every
+	// replica apply) is logged there before the ack, and a restarted
+	// node replays it into its store (see durable.go).
+	WALDir string
+	// WALSync selects the WAL fsync cadence (default wal.SyncAlways:
+	// an acked write is on disk before the ack leaves the node).
+	WALSync wal.SyncPolicy
+	// WALSegmentBytes overrides the WAL segment rotation threshold
+	// (default wal.DefaultSegmentBytes).
+	WALSegmentBytes int64
+	// MaxInflight bounds admitted store work: at the origin, no more
+	// than this many locally-issued routed store ops may be pending; at
+	// the owner, no more than this many store ops execute concurrently.
+	// Work beyond the budget is shed fast with store.ErrOverloaded
+	// (counted in store_shed_total) instead of queueing toward a
+	// timeout. 0 (the default) disables admission control.
+	MaxInflight int
+	// FullSyncReplicas restores the pre-digest anti-entropy behaviour:
+	// SyncReplicas pushes full records unconditionally. The default
+	// (false) exchanges compact fingerprints first and streams only the
+	// records the receiver is missing (see digest.go).
+	FullSyncReplicas bool
+	// Generation is this node's incarnation number, carried in its
+	// NodeInfo. NewDurable overrides it with the persisted counter from
+	// the WAL directory (bumped on every open), which is what lets a
+	// crashed node rejoin at its old address without stale departure
+	// gossip killing it again. Leave 0 for nodes that never restart.
+	Generation uint64
 }
 
 // HopsTimedOut is the hop count a Query callback receives when its
@@ -119,7 +151,12 @@ type Node struct {
 
 	// tombs records departed addresses so that stale gossip cannot
 	// resurrect them (see handle). tombOrder bounds what we re-advertise.
+	// tombGen holds, lazily (gen-free overlays never touch it), the
+	// incarnation number each tombstoned address died at: a NodeInfo
+	// carrying a higher generation is a durably restarted successor and
+	// passes every tombstone filter (see deadLocked).
 	tombs     map[string]bool
+	tombGen   map[string]uint64
 	tombOrder []string
 
 	// lastVN snapshots the Voronoi neighbour list at departure: a store
@@ -147,6 +184,21 @@ type Node struct {
 	// Config.RouteCacheSize > 0). It is a leaf lock: safe to consult
 	// under n.mu and from callback paths.
 	cache *routeCache
+
+	// Durability (see durable.go): wal is set once by NewDurable before
+	// the message handler is installed and never reassigned, so the nil
+	// fast path needs no lock; all operations on a live log serialise
+	// on walMu. walGC holds the tombstones seen at the previous
+	// compaction (two-phase GC), also under walMu.
+	wal   *wal.Log
+	walMu sync.Mutex
+	walGC map[geom.Point]uint64
+
+	// Admission control (see Config.MaxInflight): draining is set by
+	// Shutdown so new origin ops are refused during the handoff;
+	// storeBusy counts store ops executing at this node as owner.
+	draining  atomic.Bool
+	storeBusy atomic.Int64
 
 	// nm caches the node's metric instruments (see metrics.go); the
 	// registry is exposed via Metrics() and the legacy Sent counter via
@@ -201,6 +253,15 @@ func (pr *pendingRange) reap() {
 // New creates a node at pos attached to ep. The node is not part of any
 // overlay until Bootstrap or Join is called.
 func New(ep transport.Endpoint, pos geom.Point, cfg Config) *Node {
+	n := newNode(ep, pos, cfg)
+	ep.SetHandler(n.handle)
+	return n
+}
+
+// newNode builds the node without installing the message handler, so
+// NewDurable can replay the WAL into the store before any message can
+// race with the recovery.
+func newNode(ep transport.Endpoint, pos geom.Point, cfg Config) *Node {
 	if cfg.LongLinks <= 0 {
 		cfg.LongLinks = 1
 	}
@@ -218,13 +279,14 @@ func New(ep transport.Endpoint, pos geom.Point, cfg Config) *Node {
 	}
 	n := &Node{
 		ep:        ep,
-		self:      proto.NodeInfo{Addr: ep.Addr(), Pos: pos},
+		self:      proto.NodeInfo{Addr: ep.Addr(), Pos: pos, Gen: cfg.Generation},
 		cfg:       cfg,
 		rng:       rand.New(rand.NewSource(cfg.Seed ^ int64(len(ep.Addr())))),
 		vn:        make(map[string]proto.NodeInfo),
 		twoHop:    make(map[string][]proto.NodeInfo),
 		cn:        make(map[string]proto.NodeInfo),
 		tombs:     make(map[string]bool),
+		tombGen:   make(map[string]uint64),
 		queries:   make(map[uint64]*pendingQuery),
 		rangeHits: make(map[uint64]*pendingRange),
 		rangeSeen: make(map[rangeKey]bool),
@@ -235,7 +297,6 @@ func New(ep transport.Endpoint, pos geom.Point, cfg Config) *Node {
 	if cfg.RouteCacheSize > 0 {
 		n.cache = newRouteCache(cfg.RouteCacheSize, cfg.DMin)
 	}
-	ep.SetHandler(n.handle)
 	return n
 }
 
@@ -444,7 +505,7 @@ func (n *Node) alphaCandidates(target geom.Point, alpha int) []proto.NodeInfo {
 	seen := make(map[string]bool, len(n.vn)+len(n.cn)+len(n.longNbrs))
 	cands := make([]proto.NodeInfo, 0, alpha*2)
 	consider := func(c proto.NodeInfo) {
-		if c.Addr == "" || c.Addr == n.self.Addr || seen[c.Addr] || n.tombs[c.Addr] {
+		if c.Addr == "" || c.Addr == n.self.Addr || seen[c.Addr] || n.deadLocked(c) {
 			return
 		}
 		if geom.Dist2(c.Pos, target) < selfD {
@@ -589,6 +650,10 @@ func (n *Node) Leave() error {
 		// neighbourhood converges through its own gossip).
 		_ = n.send(m.to, m.env)
 	}
+	// Every record was handed off above, so the WAL holds nothing worth
+	// recovering: a rejoin at this address must start clean, exactly as
+	// the in-memory store does (n.kv.Clear).
+	n.walReset()
 	return nil
 }
 
@@ -611,6 +676,12 @@ func (n *Node) send(to string, env *proto.Envelope) error {
 	}
 	n.nm.sent.Inc()
 	n.nm.sentByKind[env.Type].Inc()
+	switch env.Type {
+	case proto.KindReplicaSync, proto.KindSyncDigest, proto.KindSyncPull:
+		// All replica-maintenance traffic, digest-mode and full-record
+		// alike, so the anti-entropy savings show up in one series.
+		n.nm.antiEntropyBytes.Add(uint64(len(b)))
+	}
 	if to == n.self.Addr {
 		// Local delivery without the transport.
 		n.nm.sendSelf.Inc()

@@ -57,7 +57,16 @@ func (c *cluster) addNode(t *testing.T, pos geom.Point, dmin float64) *Node {
 	if c.cfgMut != nil {
 		c.cfgMut(&cfg)
 	}
-	nd := New(ep, pos, cfg)
+	var nd *Node
+	if cfg.WALDir != "" {
+		var err error
+		nd, _, err = NewDurable(ep, pos, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		nd = New(ep, pos, cfg)
+	}
 	if len(c.nodes) == 0 {
 		if err := nd.Bootstrap(); err != nil {
 			t.Fatal(err)

@@ -97,6 +97,14 @@ func (n *Node) storeOpTraced(purpose proto.RoutedPurpose, key geom.Point, value 
 	}
 	timeout := n.cfg.StoreTimeout
 	n.mu.RUnlock()
+	// Origin-side admission: a draining node (mid-Shutdown) and an
+	// origin already at its inflight budget refuse synchronously —
+	// shedding here costs nothing on the wire, and the caller learns
+	// "retry later" in microseconds instead of a timeout later.
+	if n.draining.Load() || (n.cfg.MaxInflight > 0 && n.inflight.Pending() >= n.cfg.MaxInflight) {
+		n.nm.storeShed.Inc()
+		return store.ErrOverloaded
+	}
 	if cb == nil {
 		cb = func(store.Reply) {}
 	}
@@ -119,7 +127,10 @@ func (n *Node) storeOpTraced(purpose proto.RoutedPurpose, key geom.Point, value 
 			if n.cache != nil && r.Owner.Addr != "" && r.Owner.Addr != n.self.Addr {
 				n.cache.insert(key, r.Owner)
 			}
-		} else {
+		} else if !errors.Is(r.Err, store.ErrOverloaded) {
+			// An owner-side shed came back fast and was already counted
+			// in store_shed_total at the owner; only genuine timeouts
+			// belong in store_timeouts_total.
 			n.nm.storeTimeouts.Inc()
 		}
 		inner(r)
@@ -213,7 +224,13 @@ func (n *Node) StoreLookup(key geom.Point) (proto.StoreRecord, bool) { return n.
 // replica set need not contain the new owner), and only the surviving
 // holders can close that gap. Recipients apply idempotently — newer
 // version wins, equal versions keep the resident record — so repeated
-// sweeps converge. It returns the number of records pushed.
+// sweeps converge. It returns the number of records considered.
+//
+// By default the sweep is digest-first (see digest.go): each target gets
+// a compact fingerprint list of what we would push and pulls only what
+// it lacks, so a no-diff sweep costs a digest per target instead of the
+// full record stream. Config.FullSyncReplicas restores the
+// unconditional push.
 func (n *Node) SyncReplicas() int {
 	n.mu.RLock()
 	if !n.joined {
@@ -222,12 +239,25 @@ func (n *Node) SyncReplicas() int {
 	}
 	self := n.self
 	vns := n.vnList()
+	rep := n.cfg.Replication
+	full := n.cfg.FullSyncReplicas
 	n.mu.RUnlock()
 	recs := n.kv.Snapshot()
 	if len(recs) == 0 {
 		return 0
 	}
-	n.pushByOwner(self, vns, recs, "")
+	if full {
+		n.pushByOwner(self, vns, recs, "")
+		return len(recs)
+	}
+	for _, t := range syncTargets(self, vns, rep, recs, "") {
+		// Best effort, like the full push: an unreachable target is
+		// repaired by its own departure notifications.
+		_ = n.send(t.addr, &proto.Envelope{
+			Type: proto.KindSyncDigest, From: self, Handoff: t.handoff,
+			Digest: packFPs(recFPs(t.recs)),
+		})
+	}
 	return len(recs)
 }
 
@@ -304,9 +334,27 @@ func (n *Node) handleStoreOwned(env *proto.Envelope) {
 		Type: proto.KindStoreReply, From: n.self, QueryID: env.QueryID,
 		Hops: env.Hops, Path: env.Path,
 	}
+	// Owner-side admission: bound how many store ops execute here
+	// concurrently. Beyond the budget the op is refused — fast, explicit,
+	// before any state changed — and the origin maps Shed back to
+	// store.ErrOverloaded. Shedding load the origin gate could not see
+	// (many origins converging on one hot owner) is exactly this path.
+	if max := int64(n.cfg.MaxInflight); max > 0 {
+		if n.storeBusy.Add(1) > max {
+			n.storeBusy.Add(-1)
+			n.nm.storeShed.Inc()
+			reply.Shed = true
+			n.replyToOrigin(env.Origin.Addr, reply)
+			return
+		}
+		defer n.storeBusy.Add(-1)
+	}
 	switch env.Purpose {
 	case proto.PurposeStorePut:
 		rec := n.kv.Put(env.Target, env.Value)
+		// Log before the ack: once the origin sees Found, the record
+		// survives a crash of this process (wal.SyncAlways).
+		n.walAppend(rec)
 		n.replicateRecords([]proto.StoreRecord{rec}, false, "")
 		reply.Found = true
 		reply.Version = rec.Version
@@ -320,6 +368,7 @@ func (n *Node) handleStoreOwned(env *proto.Envelope) {
 		}
 	case proto.PurposeStoreDelete:
 		if tomb, ok := n.kv.Delete(env.Target); ok {
+			n.walAppend(tomb)
 			n.replicateRecords([]proto.StoreRecord{tomb}, false, "")
 			reply.Found = true
 			reply.Version = tomb.Version
@@ -395,6 +444,10 @@ func (n *Node) handleReplicaSync(env *proto.Envelope) {
 			changed = append(changed, rec)
 		}
 	}
+	// Replica applies are logged too: a crashed replica recovers its
+	// copies from its own WAL, so any single surviving log in a key's
+	// replica set can restore every acked write.
+	n.walAppend(changed...)
 	if env.Handoff && len(changed) > 0 {
 		// Exclude the sender: a leaving node hands off and must not be
 		// re-replicated to.
@@ -418,9 +471,17 @@ func (n *Node) redelegateHandoff(env *proto.Envelope, self proto.NodeInfo, lastV
 	// across the overlay.
 	dead := map[string]bool{self.Addr: true, env.From.Addr: true}
 	gone := map[string]bool{self.Addr: true}
-	for _, d := range env.Departed {
+	goneGen := map[string]uint64{self.Addr: self.Gen}
+	for i, d := range env.Departed {
 		dead[d] = true
 		gone[d] = true
+		if i < len(env.DepartedGen) {
+			goneGen[d] = env.DepartedGen[i]
+		}
+	}
+	addrGen := make(map[string]uint64, len(lastVN))
+	for _, v := range lastVN {
+		addrGen[v.Addr] = v.Gen
 	}
 	pending := env.Records
 	for len(pending) > 0 {
@@ -429,6 +490,15 @@ func (n *Node) redelegateHandoff(env *proto.Envelope, self proto.NodeInfo, lastV
 			depart = append(depart, a)
 		}
 		sort.Strings(depart)
+		var departGen []uint64
+		for i, a := range depart {
+			if g := goneGen[a]; g > 0 {
+				if departGen == nil {
+					departGen = make([]uint64, len(depart))
+				}
+				departGen[i] = g
+			}
+		}
 		order, batches := batchRecords(pending, func(rec proto.StoreRecord) string {
 			best := ""
 			bestD := math.Inf(1)
@@ -451,7 +521,7 @@ func (n *Node) redelegateHandoff(env *proto.Envelope, self proto.NodeInfo, lastV
 			for _, chunk := range chunkRecords(batches[addr]) {
 				if err := n.send(addr, &proto.Envelope{
 					Type: proto.KindReplicaSync, From: self, Records: chunk,
-					Handoff: true, Departed: depart,
+					Handoff: true, Departed: depart, DepartedGen: departGen,
 				}); err != nil {
 					failed = true
 					break // structural failure: further chunks fail too
@@ -463,6 +533,7 @@ func (n *Node) redelegateHandoff(env *proto.Envelope, self proto.NodeInfo, lastV
 				// chunks that did land are applied idempotently).
 				dead[addr] = true
 				gone[addr] = true
+				goneGen[addr] = addrGen[addr]
 				pending = append(pending, batches[addr]...)
 			}
 		}

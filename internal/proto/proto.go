@@ -20,10 +20,16 @@ import (
 )
 
 // NodeInfo identifies an object: transport address plus attribute-space
-// position.
+// position. Gen is the incarnation number — zero for a node that has
+// never durably restarted, bumped by each WAL-backed restart at the same
+// address — and is what lets departure gossip about a crashed
+// incarnation coexist with its rejoined successor: a tombstone kills
+// (Addr, Gen), never Addr forever. gob omits zero fields, so gen-free
+// overlays put nothing extra on the wire.
 type NodeInfo struct {
 	Addr string
 	Pos  geom.Point
+	Gen  uint64
 }
 
 // Kind enumerates message types.
@@ -81,6 +87,15 @@ const (
 	// Handoff set — a primary-ownership transfer that obliges the
 	// recipient to re-replicate in turn.
 	KindReplicaSync
+	// KindSyncDigest opens a digest-first anti-entropy round: instead of
+	// full records, it carries compact per-record fingerprints (Digest)
+	// of everything the sender would push to the recipient, which
+	// replies with the fingerprints it is missing.
+	KindSyncDigest
+	// KindSyncPull answers a KindSyncDigest with the subset of
+	// fingerprints the recipient does not hold; the digest sender then
+	// streams full records (KindReplicaSync) for exactly that subset.
+	KindSyncPull
 
 	// KindCount is the number of message kinds; per-kind metric arrays
 	// are sized with it. Keep it last.
@@ -107,6 +122,8 @@ var kindNames = [KindCount]string{
 	KindRangeHit:       "range_hit",
 	KindStoreReply:     "store_reply",
 	KindReplicaSync:    "replica_sync",
+	KindSyncDigest:     "sync_digest",
+	KindSyncPull:       "sync_pull",
 }
 
 // String names a kind for metrics and diagnostics.
@@ -223,8 +240,13 @@ type Envelope struct {
 
 	// Departed carries the sender's recently seen departures; recipients
 	// merge them into their tombstone sets so that stale two-hop gossip
-	// cannot resurrect a dead neighbour.
-	Departed []string
+	// cannot resurrect a dead neighbour. DepartedGen, when present, holds
+	// the incarnation number each departure died at (index-aligned with
+	// Departed; absent means all zero): a recipient that can see a newer
+	// incarnation of the address alive ignores the entry, so old
+	// departure news cannot kill a durably restarted node.
+	Departed    []string
+	DepartedGen []uint64
 
 	// Object store (PurposeStore*, KindStoreReply, KindReplicaSync).
 	Value   []byte        // payload of a PurposeStorePut / found KindStoreReply
@@ -232,6 +254,11 @@ type Envelope struct {
 	Version uint64        // version of the record acted upon
 	Records []StoreRecord // KindReplicaSync: replicated / handed-off records
 	Handoff bool          // KindReplicaSync: recipient becomes the owner
+	Shed    bool          // KindStoreReply: the owner refused the op under overload
+
+	// Anti-entropy (KindSyncDigest, KindSyncPull): packed 8-byte record
+	// fingerprints, little-endian, no separators.
+	Digest []byte
 }
 
 // MaxEnvelopeBytes bounds an accepted wire frame (it matches the TCP
@@ -285,6 +312,12 @@ func (e *Envelope) validate() error {
 	}
 	if len(e.Path) > MaxTracePath {
 		return fmt.Errorf("proto: decode: trace path of %d hops exceeds %d", len(e.Path), MaxTracePath)
+	}
+	if len(e.Digest)%8 != 0 {
+		return fmt.Errorf("proto: decode: digest of %d bytes is not a whole number of fingerprints", len(e.Digest))
+	}
+	if len(e.DepartedGen) > len(e.Departed) {
+		return fmt.Errorf("proto: decode: %d departure generations for %d departures", len(e.DepartedGen), len(e.Departed))
 	}
 	return nil
 }

@@ -46,6 +46,11 @@ var (
 	ErrTimeout = errors.New("store: request timed out")
 	// ErrValueTooLarge reports a PUT whose value exceeds MaxValueBytes.
 	ErrValueTooLarge = errors.New("store: value exceeds MaxValueBytes")
+	// ErrOverloaded reports an operation shed by admission control — at
+	// the origin (inflight budget exhausted, node draining) or at the
+	// owner (concurrent store work above budget). The operation was NOT
+	// performed; retry after a backoff.
+	ErrOverloaded = errors.New("store: overloaded, retry later")
 )
 
 // Local is a thread-safe keyed store holding the records (live and
@@ -123,6 +128,22 @@ func (l *Local) Apply(rec proto.StoreRecord) bool {
 		return false
 	}
 	l.recs[rec.Key] = rec
+	return true
+}
+
+// DropTombstone removes the tombstone for key, but only if it still sits
+// at exactly the given version — a newer tombstone (or a resurrection)
+// must survive. Used by WAL compaction's two-phase tombstone GC: a
+// tombstone that persisted unchanged across a whole compaction interval
+// has had anti-entropy time to reach every replica and can be purged.
+func (l *Local) DropTombstone(key geom.Point, version uint64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rec, ok := l.recs[key]
+	if !ok || !rec.Deleted || rec.Version != version {
+		return false
+	}
+	delete(l.recs, key)
 	return true
 }
 

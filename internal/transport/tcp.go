@@ -88,6 +88,7 @@ type endpointMetrics struct {
 	sendErrs  *metrics.Counter // Send calls that returned an error
 	dials     *metrics.Counter // outbound connections established
 	accepts   *metrics.Counter // inbound connections accepted
+	refreshes *metrics.Counter // cached outbound conns dropped on peer re-dial
 
 	// dispatchWait is the time an inbound frame waited for a dispatch
 	// worker slot (the endpoint's lock-wait signal: it grows when
@@ -108,6 +109,7 @@ func newEndpointMetrics(r *metrics.Registry) endpointMetrics {
 		sendErrs:     r.Counter("tcp_send_errors_total"),
 		dials:        r.Counter("tcp_dials_total"),
 		accepts:      r.Counter("tcp_accepts_total"),
+		refreshes:    r.Counter("tcp_conn_refresh_total"),
 		dispatchWait: r.Histogram("tcp_dispatch_wait_seconds", metrics.LatencyBuckets()),
 		inflight:     r.Gauge("tcp_inflight_dispatches"),
 		queueBytes:   r.Gauge("tcp_write_queue_bytes"),
@@ -246,10 +248,23 @@ func (e *TCPEndpoint) readLoop(c net.Conn) {
 	// SerialDispatch mode the legacy global mutex serialises handlers
 	// across all connections.
 	r := bufio.NewReader(c)
+	peer := ""
 	for {
 		from, payload, err := readFrame(r)
 		if err != nil {
 			return
+		}
+		if peer == "" {
+			// First frame on a fresh inbound connection: the peer dialled
+			// us anew, which is the one observable signal that it may have
+			// restarted — in which case our cached outbound connection to
+			// it is a dead socket whose first write would succeed into the
+			// kernel buffer and vanish (the RST only surfaces on the write
+			// after). Drop the cached connection while it is idle so the
+			// next Send re-dials the live incarnation. A healthy peer
+			// re-dialling costs one extra dial, nothing more.
+			peer = from
+			e.refreshOutbound(from)
 		}
 		e.mu.Lock()
 		h := e.handler
@@ -280,6 +295,33 @@ func (e *TCPEndpoint) readLoop(c net.Conn) {
 			e.em.inflight.Dec()
 			<-e.sem
 		}
+	}
+}
+
+// refreshOutbound drops the cached outbound connection to `to` if it is
+// idle (no coalesced write in flight, nothing queued). Called when `to`
+// dials in on a fresh connection — the restart hint; see readLoop. A
+// connection mid-write is left alone: if it really is dead the write
+// fails and Send's error path evicts it anyway.
+func (e *TCPEndpoint) refreshOutbound(to string) {
+	e.mu.Lock()
+	c, ok := e.conns[to]
+	if ok {
+		c.mu.Lock()
+		idle := !c.flushing && len(c.pending) == 0
+		c.mu.Unlock()
+		if !idle {
+			c = nil
+		} else {
+			delete(e.conns, to)
+		}
+	} else {
+		c = nil
+	}
+	e.mu.Unlock()
+	if c != nil {
+		c.c.Close()
+		e.em.refreshes.Inc()
 	}
 }
 

@@ -145,3 +145,73 @@ func TestTCPConcurrentSends(t *testing.T) {
 		t.Fatalf("distinct payloads %d of %d (frames corrupted or duplicated)", len(seen), total)
 	}
 }
+
+// TestTCPSendAfterPeerRestart: a peer that dies and restarts on the same
+// address must be reachable again. The failure mode this guards: the
+// sender's cached outbound connection to the dead incarnation accepts its
+// first write into the kernel buffer (the RST only surfaces on the write
+// after), silently losing one frame — exactly the frame that grants a
+// durably-restarted node its rejoin. The restarted peer's fresh inbound
+// dial is the refresh signal (refreshOutbound).
+func TestTCPSendAfterPeerRestart(t *testing.T) {
+	a, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	aGot := make(chan string, 8)
+	a.SetHandler(func(_ string, p []byte) { aGot <- string(p) })
+
+	b1, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := b1.Addr()
+	b1Got := make(chan string, 8)
+	b1.SetHandler(func(_ string, p []byte) { b1Got <- string(p) })
+
+	// Establish (and cache) a's outbound connection to the first
+	// incarnation.
+	if err := a.Send(addr, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-b1Got:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first incarnation never received the frame")
+	}
+	if err := b1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart on the same address and dial a — the rejoin pattern.
+	b2, err := ListenTCP(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	b2Got := make(chan string, 8)
+	b2.SetHandler(func(_ string, p []byte) { b2Got <- string(p) })
+	if err := b2.Send(a.Addr(), []byte("rejoining")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-aGot:
+	case <-time.After(5 * time.Second):
+		t.Fatal("a never received the restarted peer's frame")
+	}
+
+	// a's reply must reach the restarted incarnation, not vanish into the
+	// stale cached socket.
+	if err := a.Send(addr, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-b2Got:
+		if got != "two" {
+			t.Fatalf("restarted peer got %q, want %q", got, "two")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("frame to the restarted peer was lost")
+	}
+}
