@@ -85,9 +85,18 @@ func (n *Node) walAppend(recs ...proto.StoreRecord) {
 // interval — long enough for anti-entropy to have delivered it
 // everywhere — and is purged from both the snapshot and the store.
 func (n *Node) compactWAL() {
-	snap := n.kv.Snapshot()
 	n.walMu.Lock()
 	defer n.walMu.Unlock()
+	// The snapshot must be taken while holding walMu: handlers run
+	// concurrently, and a record logged by another handler between an
+	// early snapshot and the lock would be missing from the snapshot yet
+	// have its only WAL frame in a segment Compact deletes — an acked
+	// write lost on the next crash. Under walMu the ordering is safe:
+	// every mutation is kv-applied before walAppend, so any append that
+	// completed before we got the lock is already in this snapshot (lock
+	// order walMu → store lock is deadlock-free; walAppend never runs
+	// with the store lock held).
+	snap := n.kv.Snapshot()
 	prev := n.walGC
 	next := make(map[geom.Point]uint64)
 	kept := snap[:0]

@@ -133,6 +133,7 @@ type Log struct {
 	firstSeq int      // sequence number of the oldest live segment
 	dirty    bool     // unsynced appends outstanding
 	closed   bool
+	failed   bool   // torn frame left in place (truncate failed); appends refused
 	buf      []byte // frame scratch, reused across appends
 }
 
@@ -197,9 +198,11 @@ func Open(opt Options, apply func(proto.StoreRecord)) (*Log, ReplayStats, error)
 
 // bumpGeneration reads, increments and rewrites the incarnation counter
 // file beside the segments, fsyncing so the bump survives the crash it
-// exists to disambiguate. An unreadable value restarts the counter — the
-// successor generation must only exceed whatever peers last saw alive,
-// and they learned that number from this same file.
+// exists to disambiguate. The rewrite is atomic (temp file + rename):
+// the old counter must stay readable until the new one fully replaces
+// it, because an empty or missing file restarts the counter at 1 and a
+// restarted node with a lower generation than its own tombstones can
+// never rejoin.
 func bumpGeneration(dir string) (uint64, error) {
 	path := filepath.Join(dir, "gen")
 	var gen uint64
@@ -207,7 +210,8 @@ func bumpGeneration(dir string) (uint64, error) {
 		gen, _ = strconv.ParseUint(strings.TrimSpace(string(b)), 10, 64)
 	}
 	gen++
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return 0, err
 	}
@@ -219,7 +223,29 @@ func bumpGeneration(dir string) (uint64, error) {
 		f.Close()
 		return 0, err
 	}
-	return gen, f.Close()
+	if err := f.Close(); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return 0, err
+	}
+	return gen, syncDir(dir)
+}
+
+// syncDir fsyncs a directory so that entry-level changes (segment
+// creation, removal, the gen-file rename) are themselves durable —
+// fsyncing a file persists its contents, not the directory entry that
+// names it.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Replay reads every segment under dir through apply without opening the
@@ -249,15 +275,15 @@ func (l *Log) Append(rec proto.StoreRecord) error {
 	if l.closed {
 		return errors.New("wal: append on closed log")
 	}
+	if l.failed {
+		return errors.New("wal: log failed (torn frame could not be removed)")
+	}
 	if l.size >= l.opt.SegmentBytes {
 		if err := l.rotate(); err != nil {
 			return err
 		}
 	}
-	l.buf = appendFrame(l.buf[:0], rec)
-	n, err := l.f.Write(l.buf)
-	l.size += int64(n)
-	if err != nil {
+	if err := l.writeFrame(rec); err != nil {
 		return err
 	}
 	l.dirty = true
@@ -265,6 +291,42 @@ func (l *Log) Append(rec proto.StoreRecord) error {
 		return l.fsync()
 	}
 	return nil
+}
+
+// writeFrame frames rec onto the current segment. A failed write may
+// leave a partial frame in place; replay stops at the first bad frame,
+// so any record appended after it would be silently lost on restart.
+// writeFrame therefore truncates the segment back to the pre-write
+// offset on error — and if even that fails, marks the whole log failed
+// so later appends are refused instead of being unreplayable.
+func (l *Log) writeFrame(rec proto.StoreRecord) error {
+	l.buf = appendFrame(l.buf[:0], rec)
+	off := l.size
+	n, err := l.f.Write(l.buf)
+	if err != nil {
+		if n > 0 && !l.restoreTo(off) {
+			l.failed = true
+			l.size = off + int64(n)
+		}
+		return err
+	}
+	l.size = off + int64(n)
+	return nil
+}
+
+// restoreTo cuts the current segment back to off, removing a torn frame
+// left by a failed write. The seek matters for segments reopened by Open
+// (no O_APPEND): their writes land at the file offset, which the partial
+// write advanced.
+func (l *Log) restoreTo(off int64) bool {
+	if err := l.f.Truncate(off); err != nil {
+		return false
+	}
+	if _, err := l.f.Seek(off, io.SeekStart); err != nil {
+		return false
+	}
+	l.size = off
+	return true
 }
 
 // Sync flushes outstanding appends to stable storage (a no-op when
@@ -291,9 +353,12 @@ func (l *Log) Close() error {
 }
 
 // Compact writes recs as a fresh snapshot segment and deletes every
-// older segment, bounding replay work and log size. The snapshot segment
-// is synced before the old segments are removed, so a crash at any point
-// leaves a replayable (at worst duplicated) log.
+// older segment, bounding replay work and log size. The ordering is
+// create → fsync data → fsync dir → unlink old → fsync dir: the
+// snapshot (contents AND directory entry) is durable before any old
+// segment disappears, so a crash at any point leaves a replayable (at
+// worst duplicated) log. Compaction also recovers a failed log: the
+// snapshot supersedes whatever the torn segment held.
 func (l *Log) Compact(recs []proto.StoreRecord) error {
 	if l.closed {
 		return errors.New("wal: compact on closed log")
@@ -306,10 +371,7 @@ func (l *Log) Compact(recs []proto.StoreRecord) error {
 		return err
 	}
 	for _, rec := range recs {
-		l.buf = appendFrame(l.buf[:0], rec)
-		n, err := l.f.Write(l.buf)
-		l.size += int64(n)
-		if err != nil {
+		if err := l.writeFrame(rec); err != nil {
 			return err
 		}
 	}
@@ -320,7 +382,11 @@ func (l *Log) Compact(recs []proto.StoreRecord) error {
 	if err := l.removeSegmentsBefore(l.seq); err != nil {
 		return err
 	}
+	if err := syncDir(l.opt.Dir); err != nil {
+		return err
+	}
 	l.firstSeq = l.seq
+	l.failed = false
 	return nil
 }
 
@@ -375,10 +441,18 @@ func (l *Log) rotate() error {
 	return l.openSegment(l.seq+1, 0)
 }
 
+// openSegment creates (or reopens) segment seq and makes its directory
+// entry durable before any append can be acked against it — fsyncing the
+// file alone would leave the first records of a fresh segment pointing
+// at a name a crash can forget.
 func (l *Log) openSegment(seq int, size int64) error {
 	path := filepath.Join(l.opt.Dir, segmentName(seq))
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
+		return err
+	}
+	if err := syncDir(l.opt.Dir); err != nil {
+		f.Close()
 		return err
 	}
 	l.f, l.size, l.seq, l.dirty = f, size, seq, false

@@ -280,6 +280,100 @@ func TestSyncBatchPolicy(t *testing.T) {
 	l.Close()
 }
 
+// A partial frame left by a failed write must not poison the log: after
+// restoreTo cuts it away, later appends replay cleanly; and when the cut
+// itself fails the log refuses appends rather than writing records that
+// replay would silently drop.
+func TestTornFrameRestoredOrRefused(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(Options{Dir: dir}, nil)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if err := l.Append(rec(0.1, 0.1, 1, "before")); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	// Simulate the residue of a failed Append: garbage bytes after the
+	// last good frame, as a partial write would leave them.
+	good := l.size
+	if _, err := l.f.Write([]byte{0xde, 0xad, 0xbe}); err != nil {
+		t.Fatalf("write garbage: %v", err)
+	}
+	if !l.restoreTo(good) {
+		t.Fatal("restoreTo failed on a healthy file")
+	}
+	if l.size != good {
+		t.Fatalf("size after restore = %d, want %d", l.size, good)
+	}
+	if err := l.Append(rec(0.2, 0.2, 1, "after")); err != nil {
+		t.Fatalf("append after restore: %v", err)
+	}
+	l.Close()
+	got, stats := collect(t, dir)
+	if len(got) != 2 || stats.Truncated || stats.CorruptFrames != 0 {
+		t.Fatalf("after restore: %d records, stats %+v", len(got), stats)
+	}
+	if string(got[1].Value) != "after" {
+		t.Fatalf("replayed %+v", got[1])
+	}
+
+	// A log whose torn frame could not be removed refuses appends...
+	l2, _, err := Open(Options{Dir: t.TempDir()}, nil)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	l2.failed = true
+	if err := l2.Append(rec(0.3, 0.3, 1, "lost")); err == nil {
+		t.Fatal("append on failed log succeeded")
+	}
+	// ...but a successful Compact rewrites a fresh segment and recovers.
+	if err := l2.Compact([]proto.StoreRecord{rec(0.4, 0.4, 2, "snap")}); err != nil {
+		t.Fatalf("compact on failed log: %v", err)
+	}
+	if l2.failed {
+		t.Fatal("compact did not clear the failed state")
+	}
+	if err := l2.Append(rec(0.5, 0.5, 1, "resumed")); err != nil {
+		t.Fatalf("append after recovery compact: %v", err)
+	}
+	l2.Close()
+}
+
+// The generation bump must be atomic: the counter is rewritten via a
+// temp file + rename, so a stale temp from a crashed bump is harmless
+// and the visible gen file always holds a complete value.
+func TestGenerationBumpAtomic(t *testing.T) {
+	dir := t.TempDir()
+	l, stats, err := Open(Options{Dir: dir}, nil)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if stats.Generation != 1 {
+		t.Fatalf("first generation = %d, want 1", stats.Generation)
+	}
+	l.Close()
+
+	// Simulate a crash mid-bump: a leftover temp file, gen intact.
+	if err := os.WriteFile(filepath.Join(dir, "gen.tmp"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, stats, err = Open(Options{Dir: dir}, nil)
+	if err != nil {
+		t.Fatalf("reopen with stale tmp: %v", err)
+	}
+	if stats.Generation != 2 {
+		t.Fatalf("generation after stale tmp = %d, want 2", stats.Generation)
+	}
+	l.Close()
+	if _, err := os.Stat(filepath.Join(dir, "gen.tmp")); !os.IsNotExist(err) {
+		t.Fatal("bump left its temp file behind")
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "gen"))
+	if err != nil || string(b) != "2" {
+		t.Fatalf("gen file = %q, %v; want \"2\"", b, err)
+	}
+}
+
 func TestReplayMissingDirIsEmpty(t *testing.T) {
 	stats, err := Replay(filepath.Join(t.TempDir(), "never-created"), nil)
 	if err != nil {
