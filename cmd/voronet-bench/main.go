@@ -55,6 +55,7 @@ var (
 	ablate       = flag.Bool("ablate", false, "run the ablation studies (A1-A4)")
 	maint        = flag.Bool("maintenance", false, "measure per-operation management costs across sizes")
 	storeBench   = flag.Bool("store", false, "measure object-store Put/Get throughput, one JSON line on stdout")
+	buildWorkers = flag.Int("build-workers", 0, "construct the overlay with parallel bulk loading at this many workers (-store; 0 = serial incremental inserts)")
 	storeOps     = flag.Int("store-ops", 20000, "operations per store phase (-store)")
 	storeRep     = flag.Int("store-rep", 0, "store replication factor R (-store; 0 = default)")
 	workers      = flag.Int("workers", 1, "concurrent store workers (-store)")
@@ -387,9 +388,22 @@ func runStoreBench() {
 	src := workload.ByName("uniform", rng)
 	ov := voronet.New(voronet.Config{NMax: *n, Seed: *seed + 1, FictiveQueries: *storeFictive})
 	buildStart := time.Now()
-	for ov.Len() < *n {
-		if _, err := ov.Insert(src.Next()); err != nil && !errors.Is(err, voronet.ErrDuplicate) {
+	if *buildWorkers > 0 {
+		// Parallel bulk construction (internal/core/bulkload.go): same
+		// final overlay for any worker count, so the build_objs_per_sec
+		// trajectory is comparable across machines and worker settings.
+		pts := make([]voronet.Point, *n)
+		for i := range pts {
+			pts[i] = src.Next()
+		}
+		if _, err := ov.BulkLoad(pts, *buildWorkers); err != nil {
 			fatal(err)
+		}
+	} else {
+		for ov.Len() < *n {
+			if _, err := ov.Insert(src.Next()); err != nil && !errors.Is(err, voronet.ErrDuplicate) {
+				fatal(err)
+			}
 		}
 	}
 	buildSecs := time.Since(buildStart).Seconds()
@@ -455,34 +469,36 @@ func runStoreBench() {
 	mixed := runStorePhase(st, origins, mixedOps)
 
 	line := map[string]any{
-		"bench":             "store",
-		"n":                 ov.Len(),
-		"replication":       st.Replication(),
-		"ops":               *storeOps,
-		"value_bytes":       len(payload),
-		"seed":              *seed,
-		"workers":           benchWorkers(),
-		"zipf":              *storeZipf,
-		"get_frac":          round3(*storeGetFrac),
-		"fictive":           *storeFictive,
-		"build_secs":        round3(buildSecs),
-		"put_ops_per_sec":   round3(put.opsPerSec),
-		"put_mean_hops":     round3(put.meanHops),
-		"put_p50_us":        round3(put.p50us),
-		"put_p95_us":        round3(put.p95us),
-		"put_p99_us":        round3(put.p99us),
-		"get_ops_per_sec":   round3(get.opsPerSec),
-		"get_mean_hops":     round3(get.meanHops),
-		"get_p50_us":        round3(get.p50us),
-		"get_p95_us":        round3(get.p95us),
-		"get_p99_us":        round3(get.p99us),
-		"mixed_ops_per_sec": round3(mixed.opsPerSec),
-		"mixed_p50_us":      round3(mixed.p50us),
-		"mixed_p95_us":      round3(mixed.p95us),
-		"mixed_p99_us":      round3(mixed.p99us),
-		"metrics_enabled":   *storeMetrics,
-		"store_cache":       *storeCache,
-		"unix_millis":       time.Now().UnixMilli(),
+		"bench":              "store",
+		"n":                  ov.Len(),
+		"replication":        st.Replication(),
+		"ops":                *storeOps,
+		"value_bytes":        len(payload),
+		"seed":               *seed,
+		"workers":            benchWorkers(),
+		"zipf":               *storeZipf,
+		"get_frac":           round3(*storeGetFrac),
+		"fictive":            *storeFictive,
+		"build_secs":         round3(buildSecs),
+		"build_workers":      *buildWorkers,
+		"build_objs_per_sec": round3(float64(ov.Len()) / buildSecs),
+		"put_ops_per_sec":    round3(put.opsPerSec),
+		"put_mean_hops":      round3(put.meanHops),
+		"put_p50_us":         round3(put.p50us),
+		"put_p95_us":         round3(put.p95us),
+		"put_p99_us":         round3(put.p99us),
+		"get_ops_per_sec":    round3(get.opsPerSec),
+		"get_mean_hops":      round3(get.meanHops),
+		"get_p50_us":         round3(get.p50us),
+		"get_p95_us":         round3(get.p95us),
+		"get_p99_us":         round3(get.p99us),
+		"mixed_ops_per_sec":  round3(mixed.opsPerSec),
+		"mixed_p50_us":       round3(mixed.p50us),
+		"mixed_p95_us":       round3(mixed.p95us),
+		"mixed_p99_us":       round3(mixed.p99us),
+		"metrics_enabled":    *storeMetrics,
+		"store_cache":        *storeCache,
+		"unix_millis":        time.Now().UnixMilli(),
 	}
 	if *storeCache > 0 {
 		cs := st.RouteCacheStats()

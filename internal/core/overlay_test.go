@@ -498,7 +498,7 @@ func TestLongLinkRadiusDistribution(t *testing.T) {
 	var count int
 	median := math.Sqrt(o.DMin() * math.Sqrt2)
 	for i := 0; i < n; i++ {
-		if o.sampleLinkRadius() < median {
+		if o.sampleLinkRadius(o.rng) < median {
 			count++
 		}
 	}
@@ -508,7 +508,7 @@ func TestLongLinkRadiusDistribution(t *testing.T) {
 	}
 	// Bounds.
 	for i := 0; i < 1000; i++ {
-		r := o.sampleLinkRadius()
+		r := o.sampleLinkRadius(o.rng)
 		if r < o.DMin()-1e-15 || r > math.Sqrt2+1e-12 {
 			t.Fatalf("radius %g out of [dmin, √2]", r)
 		}
@@ -525,7 +525,7 @@ func TestChooseLRTLemma2(t *testing.T) {
 	n := 50000
 	counts := map[float64]int{0.01: 0, 0.1: 0, 1.0: 0}
 	for i := 0; i < n; i++ {
-		r := o.sampleLinkRadius()
+		r := o.sampleLinkRadius(o.rng)
 		for d := range counts {
 			if r <= d {
 				counts[d]++

@@ -75,12 +75,14 @@ func Load(r io.Reader) (*Overlay, error) {
 	o.grid = newCloseIndex(s.DMin)
 	o.nextID = s.NextID
 
-	// Rebuild the tessellation with locality-sorted bulk insertion.
+	// Rebuild the tessellation with locality-sorted bulk insertion. The
+	// sort's total order makes the build identical for any worker count,
+	// so parallelism is safe to apply unconditionally here.
 	pts := make([]geom.Point, len(s.Objects))
 	for i, os := range s.Objects {
 		pts[i] = os.Pos
 	}
-	verts := o.tr.InsertBulk(pts)
+	verts := o.tr.InsertBulkParallel(pts, 0)
 	for i, os := range s.Objects {
 		v := verts[i]
 		if v == delaunay.NoVertex || !o.tr.Alive(v) {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"math/rand"
 
 	"voronet/internal/delaunay"
 	"voronet/internal/geom"
@@ -15,9 +16,20 @@ import (
 // The target may land outside the unit square; its owner is still the
 // nearest object (§4.3.2).
 func (o *Overlay) chooseLRT(p geom.Point) geom.Point {
+	// The RNG has its own leaf lock: serial surgery draws under the write
+	// lock, the sharded engine's preparation phase under the read lock.
+	o.rngMu.Lock()
+	defer o.rngMu.Unlock()
+	return o.chooseLRTWith(o.rng, p)
+}
+
+// chooseLRTWith is chooseLRT drawing from an explicit RNG: the parallel
+// bulk loader gives each worker its own deterministically-seeded stream
+// (bulkload.go), so the caller owns the locking story.
+func (o *Overlay) chooseLRTWith(rng *rand.Rand, p geom.Point) geom.Point {
 	draw := func() geom.Point {
-		r := o.sampleLinkRadius()
-		theta := o.rng.Float64() * 2 * math.Pi
+		r := o.sampleLinkRadius(rng)
+		theta := rng.Float64() * 2 * math.Pi
 		return geom.Pt(p.X+r*math.Cos(theta), p.Y+r*math.Sin(theta))
 	}
 	tgt := draw()
@@ -32,9 +44,9 @@ func (o *Overlay) chooseLRT(p geom.Point) geom.Point {
 	return tgt
 }
 
-func (o *Overlay) sampleLinkRadius() float64 {
+func (o *Overlay) sampleLinkRadius(rng *rand.Rand) float64 {
 	rmin, rmax := o.dmin, math.Sqrt2
-	u := o.rng.Float64()
+	u := rng.Float64()
 	if s := o.cfg.LongLinkExponent; s != 2 {
 		e := 2 - s
 		lo := math.Pow(rmin, e)
@@ -261,6 +273,9 @@ func (o *Overlay) routeToPoint(rt *routeState, cur **Object, target geom.Point) 
 // used as the introduction point (the paper assumes each joining object
 // knows one object in the overlay).
 func (o *Overlay) Join(p geom.Point, via ObjectID) (ObjectID, error) {
+	if !o.cfg.SerialSurgery {
+		return o.joinSharded(p, via, nil)
+	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	return o.join(p, via)

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"voronet/internal/geom"
+)
+
+// The region-sharded surgery engine partitions the attribute space into a
+// fixed grid of shardAxis × shardAxis lock cells (the same quantisation
+// idea as the cn grid in closeidx.go, but over the whole unit square so
+// the shard of a point never changes). Surgery — join, insert, leave —
+// locks the shards covering its conflict set before committing, so
+// operations in distant regions proceed concurrently while operations in
+// touching regions serialise against each other. See surgery.go for the
+// protocol and DESIGN.md ("Sharded locking discipline") for the
+// deadlock-freedom and conflict-coverage arguments.
+const shardAxis = 16
+
+// numShards is the total shard count (256: small enough that locking every
+// shard — the bounded fallback — costs microseconds, large enough that two
+// uniformly random surgeries rarely collide).
+const numShards = shardAxis * shardAxis
+
+// shardedMinObjects is the population below which surgery falls back to
+// the lock-everything path: with a handful of objects every conflict set
+// spans most of the square anyway, and the degenerate (dimension < 2)
+// tessellation has no cavities to estimate.
+const shardedMinObjects = 64
+
+// shardMap is the grid of shard locks. Lock ordering discipline: shard
+// locks are always acquired in ascending index order, and the overlay's
+// global mu is only ever acquired while holding shard locks, never the
+// reverse — one global acquisition order [shard 0 < … < shard 255 < mu],
+// hence no cycles, hence no deadlock.
+type shardMap struct {
+	locks [numShards]sync.RWMutex
+}
+
+// shardOf maps a point to its shard index. Positions outside the unit
+// square (long-link targets may overshoot, §4.3.2) clamp to the border
+// cells, so every point has a shard.
+func shardOf(p geom.Point) int {
+	x := int(math.Floor(p.X * shardAxis))
+	y := int(math.Floor(p.Y * shardAxis))
+	if x < 0 {
+		x = 0
+	} else if x >= shardAxis {
+		x = shardAxis - 1
+	}
+	if y < 0 {
+		y = 0
+	} else if y >= shardAxis {
+		y = shardAxis - 1
+	}
+	return y*shardAxis + x
+}
+
+// lockSet write-locks the given ascending, deduplicated shard indices.
+func (m *shardMap) lockSet(set []int) {
+	for _, i := range set {
+		m.locks[i].Lock()
+	}
+}
+
+// unlockSet releases a set taken by lockSet (reverse order, by symmetry).
+func (m *shardMap) unlockSet(set []int) {
+	for i := len(set) - 1; i >= 0; i-- {
+		m.locks[set[i]].Unlock()
+	}
+}
+
+// rlock / runlock are the read-side used by store operations: a Put/Get/
+// Delete read-locks the shard of its key before taking the overlay read
+// lock, so it serialises against surgery whose conflict region covers the
+// key — including the window between a commit and its store handoff —
+// while surgery elsewhere leaves it untouched.
+func (m *shardMap) rlock(i int)   { m.locks[i].RLock() }
+func (m *shardMap) runlock(i int) { m.locks[i].RUnlock() }
+
+// allShards is the full ascending index set, the lock-everything fallback.
+var allShards = func() []int {
+	s := make([]int, numShards)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}()
+
+// shardSet accumulates a conflict set as it is discovered and produces the
+// ascending deduplicated index list lockSet wants. It lives in the
+// per-surgery scratch (surgeon) and is reused across operations.
+type shardSet struct {
+	member [numShards]bool
+	idx    []int
+}
+
+func (s *shardSet) reset() {
+	for _, i := range s.idx {
+		s.member[i] = false
+	}
+	s.idx = s.idx[:0]
+}
+
+func (s *shardSet) add(i int) {
+	if !s.member[i] {
+		s.member[i] = true
+		s.idx = append(s.idx, i)
+	}
+}
+
+func (s *shardSet) addPoint(p geom.Point) { s.add(shardOf(p)) }
+
+// contains reports membership without touching the index list.
+func (s *shardSet) contains(i int) bool { return s.member[i] }
+
+// sorted sorts the accumulated indices in place (ascending) and returns
+// them; required before lockSet.
+func (s *shardSet) sorted() []int {
+	sort.Ints(s.idx)
+	return s.idx
+}
+
+// coveredBy reports whether every member of s is also a member of held.
+func (s *shardSet) coveredBy(held *shardSet) bool {
+	for _, i := range s.idx {
+		if !held.member[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// absorb merges other's members into s (used to widen a retry).
+func (s *shardSet) absorb(other *shardSet) {
+	for _, i := range other.idx {
+		s.add(i)
+	}
+}

@@ -173,6 +173,9 @@ func (s *Store) Put(from ObjectID, key geom.Point, value []byte) (owner ObjectID
 	}
 	c := s.client()
 	defer s.clients.Put(c)
+	sh := shardOf(key)
+	s.ov.shards.rlock(sh)
+	defer s.ov.shards.runlock(sh)
 	s.ov.mu.RLock()
 	defer s.ov.mu.RUnlock()
 	res, err := c.r.resolve(from, key)
@@ -204,6 +207,9 @@ func (s *Store) Get(from ObjectID, key geom.Point) (value []byte, hops int, err 
 	}
 	c := s.client()
 	defer s.clients.Put(c)
+	sh := shardOf(key)
+	s.ov.shards.rlock(sh)
+	defer s.ov.shards.runlock(sh)
 	s.ov.mu.RLock()
 	defer s.ov.mu.RUnlock()
 	var res RouteResult
@@ -245,6 +251,9 @@ func (s *Store) Delete(from ObjectID, key geom.Point) (hops int, err error) {
 	}
 	c := s.client()
 	defer s.clients.Put(c)
+	sh := shardOf(key)
+	s.ov.shards.rlock(sh)
+	defer s.ov.shards.runlock(sh)
 	s.ov.mu.RLock()
 	defer s.ov.mu.RUnlock()
 	res, err := c.r.resolve(from, key)
@@ -452,9 +461,20 @@ func (s *Store) OnRemove(id ObjectID) {
 // clobbered by the handoff delivering an older value with a higher
 // version; running both under one write lock keeps every key's version
 // chain continuous across ownership changes.
+//
+// Under the sharded engine (SerialSurgery unset) the atomicity is
+// shard-scoped rather than global: surgery plus handoff run while the
+// write locks of the shards covering the conflict region are held, and a
+// Put/Get/Delete read-locks its key's shard before resolving — so
+// operations on keys near the churn serialise against the full
+// surgery+handoff step, while traffic in distant regions proceeds
+// concurrently.
 func (s *Store) InsertObject(p geom.Point) (ObjectID, error) {
 	c := s.client()
 	defer s.clients.Put(c)
+	if !s.ov.cfg.SerialSurgery {
+		return s.ov.insertSharded(p, func(id ObjectID) { s.onInsertLocked(c, id) })
+	}
 	s.ov.mu.Lock()
 	defer s.ov.mu.Unlock()
 	id, err := s.ov.insert(p, delaunay.NoVertex)
@@ -466,10 +486,14 @@ func (s *Store) InsertObject(p geom.Point) (ObjectID, error) {
 }
 
 // JoinObject is InsertObject through the full routed join protocol
-// (Algorithm 1): protocol join plus store handoff in one atomic step.
+// (Algorithm 1): protocol join plus store handoff in one atomic step
+// (shard-scoped under the sharded engine; see InsertObject).
 func (s *Store) JoinObject(p geom.Point, via ObjectID) (ObjectID, error) {
 	c := s.client()
 	defer s.clients.Put(c)
+	if !s.ov.cfg.SerialSurgery {
+		return s.ov.joinSharded(p, via, func(id ObjectID) { s.onInsertLocked(c, id) })
+	}
 	s.ov.mu.Lock()
 	defer s.ov.mu.Unlock()
 	id, err := s.ov.join(p, via)
@@ -481,13 +505,17 @@ func (s *Store) JoinObject(p geom.Point, via ObjectID) (ObjectID, error) {
 }
 
 // RemoveObject removes object id from the overlay together with its store
-// handoff, atomically with respect to concurrent Put/Get/Delete: the
-// whole handoff-plus-surgery runs under the overlay write lock, so no
+// handoff, atomically with respect to concurrent Put/Get/Delete: no
 // operation can slip between the bucket drain and the object's
-// disappearance.
+// disappearance, because the handoff runs while the shard write locks
+// covering the departing object's star are held (sharded engine) or under
+// the overlay write lock (SerialSurgery).
 func (s *Store) RemoveObject(id ObjectID) error {
 	c := s.client()
 	defer s.clients.Put(c)
+	if !s.ov.cfg.SerialSurgery {
+		return s.ov.removeSharded(id, func(id ObjectID) { s.onRemoveLocked(c, id) })
+	}
 	s.ov.mu.Lock()
 	defer s.ov.mu.Unlock()
 	s.onRemoveLocked(c, id)

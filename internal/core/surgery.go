@@ -1,0 +1,544 @@
+package core
+
+import (
+	"voronet/internal/delaunay"
+	"voronet/internal/geom"
+	"voronet/internal/voronoi"
+)
+
+// This file is the region-sharded surgery engine: the write path of
+// Insert, Join and Remove when Config.SerialSurgery is false.
+//
+// The protocol has three phases per operation:
+//
+//  1. Preparation (read lock): route, locate, and probe the conflict
+//     cavity read-only (delaunay.CavityVertsRO) to estimate the set of
+//     shard cells the commit will mutate — for an insertion the cavity of
+//     the new site; for a join additionally the cavities of every fictive
+//     site of the Algorithm 1/2 dance; for a removal the star of the
+//     departing site. Long-link targets are drawn here (under the RNG's
+//     leaf lock) and their owners pre-resolved as warm hints.
+//
+//  2. Lock and validate: write-lock the estimated shards in ascending
+//     index order, then take the overlay lock and recompute the conflict
+//     set fresh. If it escaped the held set (a concurrent commit reshaped
+//     the region between the phases), release everything, widen the
+//     estimate and retry; after maxShardRetries the operation locks every
+//     shard — the bounded, always-correct fallback.
+//
+//  3. Commit: the mutation itself still happens under the overlay write
+//     lock — readers (Routers, the Store fast path) keep their simple
+//     read-lock discipline and every mutation is recomputed fresh under
+//     the lock, so correctness never depends on the preparation phase's
+//     results staying exact. What the shard locks buy is everything
+//     around that short window: two surgeries whose regions touch
+//     serialise against each other for their *whole* preparation
+//     (routing, cavity probing — the expensive part), while distant
+//     surgeries overlap it; and a store operation holding its key's shard
+//     read lock cannot observe the gap between a commit and its store
+//     handoff (the post/pre callbacks run under the read lock with the
+//     shard locks still held).
+//
+// Deadlock freedom: every path acquires shard locks in ascending index
+// order and only then the overlay lock, and never acquires a shard lock
+// while holding the overlay lock — a single global acquisition order,
+// hence no cycles. See DESIGN.md ("Sharded locking discipline") for the
+// conflict-coverage argument (why the cavity/star cells pin the region).
+
+// maxShardRetries bounds the widen-and-retry loop before a surgery falls
+// back to locking every shard.
+const maxShardRetries = 3
+
+// surgeon is the per-operation scratch of the sharded engine, pooled on
+// the overlay. It carries a private routing state (like a Router's) so the
+// preparation phase can route under the read lock, plus the conflict-set
+// accumulators and the drawn long-link targets that must survive retries.
+type surgeon struct {
+	// steps is charged by the private routeState and flushed into
+	// Counters.GreedySteps at commit, under the write lock.
+	steps uint64
+	rt    routeState
+	vbuf  []delaunay.VertexID
+	vbuf2 []delaunay.VertexID
+
+	cells shardSet // the estimate, grown across retries; becomes the held set
+	fresh shardSet // commit-time recomputation, checked against cells
+
+	targets  []geom.Point        // long-link targets, drawn once per operation
+	owners   []delaunay.VertexID // pre-resolved owner hints (insert)
+	stops    []ObjectID          // per-target routing stops (join)
+	stopVs   []delaunay.VertexID
+	stopObjs []*Object
+	hops     uint64 // join routing hops, flushed into JoinRouteSteps
+}
+
+func (o *Overlay) getSurgeon() *surgeon {
+	s, ok := o.surgeons.Get().(*surgeon)
+	if !ok {
+		s = &surgeon{}
+		s.rt = routeState{vor: voronoi.New(o.tr), steps: &s.steps}
+	}
+	s.steps = 0
+	s.hops = 0
+	s.cells.reset()
+	s.targets = s.targets[:0]
+	s.owners = s.owners[:0]
+	s.stops = s.stops[:0]
+	return s
+}
+
+func (o *Overlay) putSurgeon(s *surgeon) {
+	s.stopObjs = s.stopObjs[:0] // do not retain objects across operations
+	o.surgeons.Put(s)
+}
+
+// addCavityCells probes the cavity of a hypothetical insertion at p and
+// adds its cells (the point's own and every cavity vertex's) to dst.
+// Returns false when p duplicates an existing site.
+func (o *Overlay) addCavityCells(s *surgeon, dst *shardSet, p geom.Point, hint delaunay.VertexID) bool {
+	var ok bool
+	s.vbuf, ok = o.tr.CavityVertsRO(p, hint, s.vbuf)
+	if !ok {
+		return false
+	}
+	dst.addPoint(p)
+	for _, v := range s.vbuf {
+		dst.addPoint(o.tr.Point(v))
+	}
+	return true
+}
+
+// insertSharded is Insert through the sharded engine. post, if non-nil,
+// runs after the commit under the overlay read lock with the conflict
+// shard locks still held (the Store hooks its ownership handoff there).
+func (o *Overlay) insertSharded(p geom.Point, post func(ObjectID)) (ObjectID, error) {
+	s := o.getSurgeon()
+	defer o.putSurgeon(s)
+
+	for attempt := 0; ; attempt++ {
+		lockAll := attempt >= maxShardRetries
+
+		// Phase 1: estimate the conflict set under the read lock.
+		o.mu.RLock()
+		if len(o.ids) < shardedMinObjects || o.tr.Dimension() < 2 {
+			o.mu.RUnlock()
+			return o.insertFallback(p, post)
+		}
+		if !o.addCavityCells(s, &s.cells, p, delaunay.NoVertex) {
+			o.mu.RUnlock()
+			return NoObject, ErrDuplicate
+		}
+		hintV := s.vbuf[0]
+		if attempt == 0 && !o.cfg.DisableLongLinks {
+			for j := 0; j < o.cfg.LongLinks; j++ {
+				s.targets = append(s.targets, o.chooseLRT(p))
+			}
+		}
+		s.owners = s.owners[:0]
+		for _, tgt := range s.targets {
+			var v delaunay.VertexID
+			v, s.vbuf2 = o.tr.NearestSiteRO(tgt, hintV, s.vbuf2)
+			s.owners = append(s.owners, v)
+		}
+		o.mu.RUnlock()
+
+		// Phase 2: lock shards (ascending), re-validate under the overlay
+		// lock. The direct insert performs no fictive surgery at its
+		// long-link targets — owner registration is pure view bookkeeping
+		// under the overlay lock — so only the cavity needs covering.
+		held := s.cells.sorted()
+		if lockAll {
+			held = allShards
+		}
+		o.shards.lockSet(held)
+		o.mu.Lock()
+		if len(o.ids) < shardedMinObjects || o.tr.Dimension() < 2 {
+			// Shrunk below the sharded regime since phase 1; the next
+			// attempt re-routes to the fallback.
+			o.mu.Unlock()
+			o.shards.unlockSet(held)
+			continue
+		}
+		if !o.tr.Alive(hintV) {
+			hintV = delaunay.NoVertex
+		}
+		if !o.addCavityCells(s, &s.fresh, p, hintV) {
+			o.mu.Unlock()
+			o.shards.unlockSet(held)
+			return NoObject, ErrDuplicate
+		}
+		if !lockAll {
+			escaped := !s.fresh.coveredBy(&s.cells)
+			if escaped {
+				s.cells.absorb(&s.fresh)
+				s.fresh.reset()
+				o.mu.Unlock()
+				o.shards.unlockSet(held)
+				continue
+			}
+		}
+		s.fresh.reset()
+
+		// Phase 3: commit. s.vbuf still holds the fresh cavity — any of
+		// its vertices is an O(1) locate hint.
+		id, obj, err := o.insertBase(p, s.vbuf[0])
+		if err != nil {
+			o.mu.Unlock()
+			o.shards.unlockSet(held)
+			return NoObject, err
+		}
+		if !o.cfg.DisableLongLinks {
+			for j, tgt := range s.targets {
+				rh := s.owners[j]
+				// The pre-resolved owner vertex is only a descent hint; a
+				// stale or recycled slot just costs a longer walk.
+				if rh == delaunay.NoVertex || !o.tr.Alive(rh) {
+					rh = obj.vert
+				}
+				o.registerLongLink(obj, j, tgt, rh)
+			}
+		}
+		o.mu.Unlock()
+		if post != nil {
+			o.mu.RLock()
+			post(id)
+			o.mu.RUnlock()
+		}
+		o.shards.unlockSet(held)
+		return id, nil
+	}
+}
+
+// insertFallback is the small/degenerate-overlay path: lock everything,
+// then run the serial insert. Holding every shard keeps the engine's
+// invariant — any mutation holds the shard locks covering its region —
+// true in mixed regimes around the population threshold.
+func (o *Overlay) insertFallback(p geom.Point, post func(ObjectID)) (ObjectID, error) {
+	o.shards.lockSet(allShards)
+	defer o.shards.unlockSet(allShards)
+	o.mu.Lock()
+	id, err := o.insert(p, delaunay.NoVertex)
+	o.mu.Unlock()
+	if err != nil {
+		return NoObject, err
+	}
+	if post != nil {
+		o.mu.RLock()
+		post(id)
+		o.mu.RUnlock()
+	}
+	return id, nil
+}
+
+// removeSharded is Remove through the sharded engine. pre, if non-nil,
+// runs before the surgery — with the star validated and pinned by the
+// held shard locks — under the overlay read lock (the Store drains the
+// departing object's bucket there, while distant operations proceed).
+func (o *Overlay) removeSharded(id ObjectID, pre func(ObjectID)) error {
+	s := o.getSurgeon()
+	defer o.putSurgeon(s)
+
+	for attempt := 0; ; attempt++ {
+		lockAll := attempt >= maxShardRetries
+
+		// Phase 1: estimate — the departing site's cell plus its star's.
+		o.mu.RLock()
+		obj := o.objs[id]
+		if obj == nil {
+			o.mu.RUnlock()
+			return ErrNotFound
+		}
+		if len(o.ids) < shardedMinObjects || o.tr.Dimension() < 2 {
+			o.mu.RUnlock()
+			return o.removeFallback(id, pre)
+		}
+		s.cells.addPoint(obj.Pos)
+		s.vbuf = o.tr.Neighbors(obj.vert, s.vbuf)
+		for _, v := range s.vbuf {
+			s.cells.addPoint(o.tr.Point(v))
+		}
+		o.mu.RUnlock()
+
+		held := s.cells.sorted()
+		if lockAll {
+			held = allShards
+		}
+		o.shards.lockSet(held)
+
+		// Phase 2: validate under the read lock. Once the fresh star is
+		// covered it is pinned: changing the star of id requires mutating
+		// a face incident to it, and any such surgery must hold id's own
+		// cell — which we hold exclusively.
+		o.mu.RLock()
+		obj = o.objs[id]
+		if obj == nil {
+			o.mu.RUnlock()
+			o.shards.unlockSet(held)
+			return ErrNotFound
+		}
+		if len(o.ids) < shardedMinObjects || o.tr.Dimension() < 2 {
+			o.mu.RUnlock()
+			o.shards.unlockSet(held)
+			continue // next attempt routes to the fallback
+		}
+		if !lockAll {
+			s.fresh.reset()
+			s.fresh.addPoint(obj.Pos)
+			s.vbuf = o.tr.Neighbors(obj.vert, s.vbuf)
+			for _, v := range s.vbuf {
+				s.fresh.addPoint(o.tr.Point(v))
+			}
+			if !s.fresh.coveredBy(&s.cells) {
+				s.cells.absorb(&s.fresh)
+				s.fresh.reset()
+				o.mu.RUnlock()
+				o.shards.unlockSet(held)
+				continue
+			}
+			s.fresh.reset()
+		}
+		if pre != nil {
+			pre(id)
+		}
+		o.mu.RUnlock()
+
+		// Phase 3: commit. The star cannot have changed since validation
+		// (pinned above), so the removal's repair decisions match what pre
+		// observed.
+		o.mu.Lock()
+		err := o.remove(id)
+		o.mu.Unlock()
+		o.shards.unlockSet(held)
+		return err
+	}
+}
+
+// removeFallback mirrors insertFallback for removals. pre runs under the
+// read lock with every shard held, as in the sharded path.
+func (o *Overlay) removeFallback(id ObjectID, pre func(ObjectID)) error {
+	o.shards.lockSet(allShards)
+	defer o.shards.unlockSet(allShards)
+	if pre != nil {
+		o.mu.RLock()
+		if o.objs[id] == nil {
+			o.mu.RUnlock()
+			return ErrNotFound
+		}
+		pre(id)
+		o.mu.RUnlock()
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.remove(id)
+}
+
+// collectJoinCells accumulates into dst every shard cell the commit-time
+// dance of a join at p mutates: the cavity of p, of its stepping stone z
+// (Algorithm 1), and — per long-link target — of the fictive target and
+// its own stepping stone (Algorithm 2 via resolveByFictive). anchorV and
+// stopVs are the walk anchors: the main route's stop and each target
+// route's stop. Chained fictive insertions stay covered because each
+// insertion only carves faces whose vertices lie in the union of the
+// already-collected cavities (plus the fictive sites themselves, whose
+// cells are added explicitly). Returns false when p duplicates a site.
+//
+// Callers hold at least the overlay read lock; s.rt.vor provides the
+// private Voronoi scratch in either phase.
+func (o *Overlay) collectJoinCells(s *surgeon, dst *shardSet, p geom.Point, anchorV delaunay.VertexID, stopVs []delaunay.VertexID) bool {
+	if !o.addCavityCells(s, dst, p, anchorV) {
+		return false
+	}
+	z, dz := s.rt.vor.DistanceToRegion(anchorV, p)
+	if dz > 0 {
+		// ok=false means z coincides with a site; the commit then skips
+		// the fictive insertion, so there is nothing extra to cover.
+		o.addCavityCells(s, dst, z, anchorV)
+	}
+	for j, sv := range stopVs {
+		tgt := s.targets[j]
+		o.addCavityCells(s, dst, tgt, sv)
+		zj, dzj := s.rt.vor.DistanceToRegion(sv, tgt)
+		if dzj > 0 {
+			o.addCavityCells(s, dst, zj, sv)
+		}
+	}
+	return true
+}
+
+// joinSharded is Join through the sharded engine: phase 1 performs all of
+// Algorithm 1/2's *routing* read-only (charged to the surgeon and flushed
+// at commit), the commit replays the fictive-object dance itself under the
+// overlay lock within the validated conflict region. post as in
+// insertSharded.
+func (o *Overlay) joinSharded(p geom.Point, via ObjectID, post func(ObjectID)) (ObjectID, error) {
+	s := o.getSurgeon()
+	defer o.putSurgeon(s)
+
+	for attempt := 0; ; attempt++ {
+		lockAll := attempt >= maxShardRetries
+
+		// Phase 1: route towards p, then towards each long-link target,
+		// all under the read lock, collecting conflict cells.
+		o.mu.RLock()
+		if len(o.ids) < shardedMinObjects || o.tr.Dimension() < 2 {
+			o.mu.RUnlock()
+			return o.joinFallback(p, via, post)
+		}
+		s.steps = 0
+		s.hops = 0
+		s.cells.reset()
+		start := o.objs[via]
+		if start == nil {
+			start = o.objs[o.ids[0]]
+		}
+		cur := start
+		hops, err := o.routeToPoint(&s.rt, &cur, p)
+		if err != nil {
+			o.mu.RUnlock()
+			return NoObject, err
+		}
+		s.hops += uint64(hops)
+		if attempt == 0 && !o.cfg.DisableLongLinks {
+			for j := 0; j < o.cfg.LongLinks; j++ {
+				s.targets = append(s.targets, o.chooseLRT(p))
+			}
+		}
+		s.stops = s.stops[:0]
+		s.stopVs = s.stopVs[:0]
+		for _, tgt := range s.targets {
+			lcur := cur
+			lhops, err := o.routeToPoint(&s.rt, &lcur, tgt)
+			if err != nil {
+				o.mu.RUnlock()
+				return NoObject, err
+			}
+			s.hops += uint64(lhops)
+			s.stops = append(s.stops, lcur.ID)
+			s.stopVs = append(s.stopVs, lcur.vert)
+		}
+		if !o.collectJoinCells(s, &s.cells, p, cur.vert, s.stopVs) {
+			o.mu.RUnlock()
+			return NoObject, ErrDuplicate
+		}
+		curID := cur.ID
+		o.mu.RUnlock()
+
+		// Phase 2: lock, re-anchor, validate.
+		held := s.cells.sorted()
+		if lockAll {
+			held = allShards
+		}
+		o.shards.lockSet(held)
+		o.mu.Lock()
+		if len(o.ids) < shardedMinObjects || o.tr.Dimension() < 2 {
+			o.mu.Unlock()
+			o.shards.unlockSet(held)
+			continue
+		}
+		cur = o.objs[curID]
+		if cur == nil {
+			// The stop object left between the phases; any object near p
+			// anchors the dance equally well (Lemma 4 only needs the stop
+			// condition, which holds a fortiori at the region's owner).
+			cur = o.objs[o.byVertex[o.tr.NearestSite(p, delaunay.NoVertex)]]
+		}
+		s.stopObjs = s.stopObjs[:0]
+		s.stopVs = s.stopVs[:0]
+		for j := range s.targets {
+			st := o.objs[s.stops[j]]
+			if st == nil {
+				st = o.objs[o.byVertex[o.tr.NearestSite(s.targets[j], cur.vert)]]
+			}
+			s.stopObjs = append(s.stopObjs, st)
+			s.stopVs = append(s.stopVs, st.vert)
+		}
+		if !lockAll {
+			s.fresh.reset()
+			if !o.collectJoinCells(s, &s.fresh, p, cur.vert, s.stopVs) {
+				o.mu.Unlock()
+				o.shards.unlockSet(held)
+				return NoObject, ErrDuplicate
+			}
+			if !s.fresh.coveredBy(&s.cells) {
+				s.cells.absorb(&s.fresh)
+				s.fresh.reset()
+				o.mu.Unlock()
+				o.shards.unlockSet(held)
+				continue
+			}
+			s.fresh.reset()
+		}
+
+		// Phase 3: commit — the literal dance, within the pinned region.
+		z, dz := o.fictiveSite(cur, p)
+		var zID ObjectID = NoObject
+		if dz > 0 {
+			if fid, ferr := o.insertCore(z, cur.vert, modeFictive); ferr == nil {
+				zID = fid
+				o.counters.FictiveInserts++
+			}
+		}
+		hint := cur.vert
+		if zID != NoObject {
+			hint = o.objs[zID].vert
+		}
+		id, err := o.insertCore(p, hint, modeJoining)
+		if zID != NoObject {
+			if rerr := o.remove(zID); rerr != nil {
+				o.mu.Unlock()
+				o.shards.unlockSet(held)
+				return NoObject, rerr
+			}
+			o.counters.Leaves--
+		}
+		if err != nil {
+			o.mu.Unlock()
+			o.shards.unlockSet(held)
+			return NoObject, err
+		}
+		obj := o.objs[id]
+		o.counters.MaintenanceMessages += uint64(o.tr.Degree(obj.vert))
+		if !o.cfg.DisableLongLinks {
+			for j, tgt := range s.targets {
+				owner, ferr := o.resolveByFictive(s.stopObjs[j], tgt)
+				if ferr != nil {
+					o.mu.Unlock()
+					o.shards.unlockSet(held)
+					return NoObject, ferr
+				}
+				obj.longTargets = append(obj.longTargets, tgt)
+				obj.longNbrs = append(obj.longNbrs, owner)
+				o.objs[owner].back = append(o.objs[owner].back, BackRef{Obj: id, Link: j})
+			}
+		}
+		o.counters.Joins++
+		o.counters.JoinRouteSteps += s.hops
+		o.counters.GreedySteps += s.steps
+		o.mu.Unlock()
+		if post != nil {
+			o.mu.RLock()
+			post(id)
+			o.mu.RUnlock()
+		}
+		o.shards.unlockSet(held)
+		return id, nil
+	}
+}
+
+// joinFallback mirrors insertFallback for joins (including bootstrap).
+func (o *Overlay) joinFallback(p geom.Point, via ObjectID, post func(ObjectID)) (ObjectID, error) {
+	o.shards.lockSet(allShards)
+	defer o.shards.unlockSet(allShards)
+	o.mu.Lock()
+	id, err := o.join(p, via)
+	o.mu.Unlock()
+	if err != nil {
+		return NoObject, err
+	}
+	if post != nil {
+		o.mu.RLock()
+		post(id)
+		o.mu.RUnlock()
+	}
+	return id, nil
+}

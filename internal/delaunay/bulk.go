@@ -1,7 +1,9 @@
 package delaunay
 
 import (
+	"runtime"
 	"sort"
+	"sync"
 
 	"voronet/internal/geom"
 )
@@ -19,8 +21,22 @@ import (
 // optimisation: the experiment engine uses it to build 300 000-object
 // overlays in seconds.
 func (t *Triangulation) InsertBulk(points []geom.Point) []VertexID {
+	return t.InsertBulkParallel(points, 1)
+}
+
+// InsertBulkParallel is InsertBulk with the construction's embarrassingly
+// parallel prefix — Hilbert key computation and the locality sort — spread
+// over `workers` goroutines (0 selects GOMAXPROCS). The insertion loop
+// itself stays serial: the triangulation's face/vertex arenas are a single
+// mutable structure and the hinted Bowyer–Watson insert is already O(1)
+// expected, so the sort is the part worth parallelising here (the overlay
+// layer parallelises everything it builds on top — long links, grid, back
+// references — in core.BulkLoad). The sort uses a total order (key, then
+// coordinates, then input index), so the insertion sequence — and therefore
+// the resulting structure — is bit-identical for every worker count.
+func (t *Triangulation) InsertBulkParallel(points []geom.Point, workers int) []VertexID {
 	ids := make([]VertexID, len(points))
-	order := hilbertOrder(points)
+	order := hilbertOrderParallel(points, workers)
 	hint := t.lastInsertedHint()
 	for _, idx := range order {
 		v, err := t.Insert(points[idx], hint)
@@ -44,9 +60,12 @@ func (t *Triangulation) lastInsertedHint() VertexID {
 	return NoVertex
 }
 
-// hilbertOrder returns a permutation of indices sorting the points along a
-// Hilbert curve over their bounding box.
-func hilbertOrder(points []geom.Point) []int {
+// hilbertOrderParallel returns a permutation of indices sorting the points
+// along a Hilbert curve over their bounding box. Key computation and the
+// sort fan out over `workers` goroutines; the comparison is the total
+// order (key, X, Y, input index), so the permutation is independent of the
+// worker count and of sort stability.
+func hilbertOrderParallel(points []geom.Point, workers int) []int {
 	n := len(points)
 	order := make([]int, n)
 	for i := range order {
@@ -54,6 +73,13 @@ func hilbertOrder(points []geom.Point) []int {
 	}
 	if n < 3 {
 		return order
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n/1024 {
+		// Below ~1k points per worker the goroutine overhead wins.
+		workers = n/1024 + 1
 	}
 	minX, minY := points[0].X, points[0].Y
 	maxX, maxY := minX, minY
@@ -82,13 +108,92 @@ func hilbertOrder(points []geom.Point) []int {
 	const bits = 16
 	const side = 1 << bits
 	keys := make([]uint64, n)
-	for i, p := range points {
-		x := uint32((p.X - minX) / spanX * (side - 1))
-		y := uint32((p.Y - minY) / spanY * (side - 1))
-		keys[i] = hilbertD(bits, x, y)
+	fillKeys := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p := points[i]
+			x := uint32((p.X - minX) / spanX * (side - 1))
+			y := uint32((p.Y - minY) / spanY * (side - 1))
+			keys[i] = hilbertD(bits, x, y)
+		}
 	}
-	sort.Slice(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+	less := func(a, b int) bool {
+		if keys[a] != keys[b] {
+			return keys[a] < keys[b]
+		}
+		if points[a].X != points[b].X {
+			return points[a].X < points[b].X
+		}
+		if points[a].Y != points[b].Y {
+			return points[a].Y < points[b].Y
+		}
+		return a < b
+	}
+	if workers <= 1 {
+		fillKeys(0, n)
+		sort.Slice(order, func(a, b int) bool { return less(order[a], order[b]) })
+		return order
+	}
+
+	// Parallel keys, then a chunked parallel sort merged pairwise.
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	bounds := make([][2]int, 0, workers)
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		bounds = append(bounds, [2]int{lo, hi})
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fillKeys(lo, hi)
+			part := order[lo:hi]
+			sort.Slice(part, func(a, b int) bool { return less(part[a], part[b]) })
+		}(lo, hi)
+	}
+	wg.Wait()
+	tmp := make([]int, n)
+	for len(bounds) > 1 {
+		next := bounds[:0:cap(bounds)]
+		var mwg sync.WaitGroup
+		for i := 0; i < len(bounds); i += 2 {
+			if i+1 == len(bounds) {
+				next = append(next, bounds[i])
+				break
+			}
+			a, b := bounds[i], bounds[i+1]
+			next = append(next, [2]int{a[0], b[1]})
+			mwg.Add(1)
+			go func(lo, mid, hi int) {
+				defer mwg.Done()
+				mergeRuns(order, tmp, lo, mid, hi, less)
+			}(a[0], b[0], b[1])
+		}
+		mwg.Wait()
+		bounds = next
+	}
 	return order
+}
+
+// mergeRuns merges the sorted runs order[lo:mid] and order[mid:hi] into
+// order[lo:hi] via the scratch slice tmp (disjoint slices per call).
+func mergeRuns(order, tmp []int, lo, mid, hi int, less func(a, b int) bool) {
+	i, j, k := lo, mid, lo
+	for i < mid && j < hi {
+		if less(order[j], order[i]) {
+			tmp[k] = order[j]
+			j++
+		} else {
+			tmp[k] = order[i]
+			i++
+		}
+		k++
+	}
+	copy(tmp[k:], order[i:mid])
+	k += mid - i
+	copy(tmp[k:], order[j:hi])
+	copy(order[lo:hi], tmp[lo:hi])
 }
 
 // hilbertD maps grid cell (x, y) on a 2^order × 2^order grid to its

@@ -90,7 +90,7 @@ func TestHilbertOrderIsPermutationAndLocal(t *testing.T) {
 	for i := range pts {
 		pts[i] = geom.Pt(rng.Float64(), rng.Float64())
 	}
-	order := hilbertOrder(pts)
+	order := hilbertOrderParallel(pts, 1)
 	seen := make([]bool, len(pts))
 	for _, idx := range order {
 		if seen[idx] {
@@ -107,6 +107,103 @@ func TestHilbertOrderIsPermutationAndLocal(t *testing.T) {
 	mean := total / float64(len(order)-1)
 	if mean > 0.1 {
 		t.Fatalf("hilbert order mean step %.3f — not local", mean)
+	}
+}
+
+// TestInsertBulkParallelWorkerCountInvariant asserts the guarantee the
+// parallel sort is built on: the insertion order — and therefore the whole
+// structure, face IDs included — is identical for every worker count,
+// because the comparator is a total order over (key, coordinates, index).
+func TestInsertBulkParallelWorkerCountInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	pts := make([]geom.Point, 6000)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64(), rng.Float64())
+	}
+	// Duplicate coordinates exercise the index tie-break.
+	pts[100] = pts[4000]
+	pts[200] = pts[5000]
+	ref := hilbertOrderParallel(pts, 1)
+	for _, workers := range []int{2, 3, 4, 8} {
+		got := hilbertOrderParallel(pts, workers)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: order diverges at %d: %d vs %d", workers, i, got[i], ref[i])
+			}
+		}
+	}
+	// And the triangulations agree structurally.
+	a := New()
+	aIDs := a.InsertBulkParallel(pts, 1)
+	b := New()
+	bIDs := b.InsertBulkParallel(pts, 4)
+	if err := b.Validate(); err != nil {
+		t.Fatalf("parallel validate: %v", err)
+	}
+	posOf := func(tr *Triangulation, v VertexID) geom.Point { return tr.Point(v) }
+	for i := range pts {
+		na := neighborPositions(a, aIDs[i], posOf)
+		nb := neighborPositions(b, bIDs[i], posOf)
+		if len(na) != len(nb) {
+			t.Fatalf("point %d: %d vs %d neighbours", i, len(na), len(nb))
+		}
+		for j := range na {
+			if na[j] != nb[j] {
+				t.Fatalf("point %d neighbour mismatch", i)
+			}
+		}
+	}
+}
+
+// TestCavityVertsROMatchesInsertion checks the read-only conflict probe
+// against ground truth: the cavity vertices it reports for a point must be
+// exactly the sites that are Voronoi neighbours of the point once it is
+// actually inserted (the carved faces' corners are the new star), and the
+// probe must leave the structure untouched.
+func TestCavityVertsROMatchesInsertion(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	tr := New()
+	pts := make([]geom.Point, 500)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64(), rng.Float64())
+	}
+	tr.InsertBulk(pts)
+	var buf []VertexID
+	for trial := 0; trial < 200; trial++ {
+		p := geom.Pt(rng.Float64()*1.2-0.1, rng.Float64()*1.2-0.1)
+		var ok bool
+		buf, ok = tr.CavityVertsRO(p, NoVertex, buf)
+		if !ok {
+			t.Fatalf("trial %d: unexpected duplicate at %v", trial, p)
+		}
+		cavity := map[VertexID]bool{}
+		for _, v := range buf {
+			cavity[v] = true
+		}
+		before := tr.NumSites()
+		v, err := tr.Insert(p, NoVertex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		star := tr.Neighbors(v, nil)
+		for _, u := range star {
+			if u != Infinite && !cavity[u] {
+				t.Fatalf("trial %d: star vertex %d missing from RO cavity", trial, u)
+			}
+		}
+		if err := tr.Remove(v); err != nil {
+			t.Fatal(err)
+		}
+		if tr.NumSites() != before {
+			t.Fatalf("trial %d: site count drifted", trial)
+		}
+	}
+	// Duplicate probe: reports ok=false, mutates nothing.
+	if _, ok := tr.CavityVertsRO(pts[17], NoVertex, buf); ok {
+		t.Fatal("duplicate position must report ok=false")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -1,0 +1,67 @@
+package delaunay
+
+import "voronet/internal/geom"
+
+// CavityVertsRO returns the finite vertices of every face that would be
+// carved by inserting a site at p — the Bowyer–Watson conflict cavity —
+// without performing the insertion and without touching any shared mutable
+// state (no epoch marks, no walk RNG, no last-face cache). Any number of
+// goroutines may call it concurrently as long as no insertion or removal
+// runs at the same time, which is exactly the read-locked phase the
+// region-sharded overlay engine uses it in: the returned vertices span the
+// region a subsequent insertion will mutate, so their positions determine
+// the shard conflict set to lock before committing.
+//
+// The boolean result is false when p coincides with an existing site (the
+// insertion would be a duplicate) or the triangulation has dimension < 2
+// (no faces to carve); buf is then returned empty. hint accelerates point
+// location exactly as in Insert. Vertices are deduplicated.
+func (t *Triangulation) CavityVertsRO(p geom.Point, hint VertexID, buf []VertexID) ([]VertexID, bool) {
+	buf = buf[:0]
+	if t.dim < 2 {
+		return buf, false
+	}
+	loc := t.LocateRO(p, hint)
+	if loc.Kind == LocVertex {
+		return buf, false
+	}
+
+	// The cavity is tiny (O(degree) faces), so a small local visited set
+	// keeps the walk read-only where insertSite would stamp epoch marks.
+	seen := make(map[FaceID]struct{}, 16)
+	queue := make([]FaceID, 0, 16)
+	push := func(f FaceID) {
+		seen[f] = struct{}{}
+		queue = append(queue, f)
+	}
+	push(loc.Face)
+	if loc.Kind == LocEdge {
+		push(t.faces[loc.Face].n[loc.Edge])
+	}
+	addVert := func(v VertexID) []VertexID {
+		if v == Infinite {
+			return buf
+		}
+		for _, u := range buf {
+			if u == v {
+				return buf
+			}
+		}
+		return append(buf, v)
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		f := queue[qi]
+		fc := t.faces[f]
+		for k := 0; k < 3; k++ {
+			buf = addVert(fc.v[k])
+			g := fc.n[k]
+			if _, ok := seen[g]; ok {
+				continue
+			}
+			if t.inConflict(g, p) {
+				push(g)
+			}
+		}
+	}
+	return buf, true
+}

@@ -51,6 +51,32 @@ func Scenarios() []Scenario {
 			},
 		},
 		{
+			// The sharded-surgery stress: a batch flash crowd lands while
+			// the overlay is simultaneously shrinking by leaves and
+			// crashes, then a second crowd hits the shrunken mesh. Every
+			// Check runs the full invariant battery, so any conflict-set
+			// miscomputation in the concurrent view surgery (lost back
+			// refs, torn Voronoi stars, replica holes) fails the scenario.
+			Name: "flash-crowd-churn", Seed: 110,
+			Steps: []Step{
+				Join{N: 10},
+				Settle{},
+				Check{},
+				Join{N: 30, Batch: true},
+				Leave{Count: 4},
+				Crash{Count: 3},
+				Settle{},
+				Check{},
+				Workload{Ops: 60, GetFrac: 0.4},
+				Join{N: 20, Batch: true},
+				Crash{Count: 4},
+				Settle{},
+				Workload{Ops: 40, GetFrac: 0.5},
+				Settle{},
+				Check{},
+			},
+		},
+		{
 			// The acceptance scenario: a named east/west partition stands
 			// while the workload keeps writing, then heals. The final
 			// check demands 100% greedy-routing success and full

@@ -153,6 +153,19 @@ func (rc *routeCache) invalidateTakenOver(pos geom.Point) int {
 	return removed
 }
 
+// hottest returns the keys of the k most-recently-used entries, hottest
+// first — the candidates the background refresher re-validates (see
+// refresh.go).
+func (rc *routeCache) hottest(k int) []geom.Point {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	out := make([]geom.Point, 0, k)
+	for el := rc.lru.Front(); el != nil && len(out) < k; el = el.Next() {
+		out = append(out, el.Value.(*cacheEntry).key)
+	}
+	return out
+}
+
 // clear empties the cache (this node left the overlay).
 func (rc *routeCache) clear() {
 	rc.mu.Lock()

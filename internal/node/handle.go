@@ -388,11 +388,26 @@ func (n *Node) admitJoin(env *proto.Envelope) {
 	defer func() { n.nm.joinAdmitTime.Observe(time.Since(start).Seconds()) }()
 	j := env.Origin
 
+	// Optimistic phase (see surgery.go): the joiner's neighbour list is a
+	// pure function of the candidate pool, so compute it off-lock and only
+	// redo it under the lock if the pool moved in between.
+	var newVN []proto.NodeInfo
+	var specPool map[string]proto.NodeInfo
+	if !n.cfg.SerialSurgery {
+		n.mu.RLock()
+		specPool = n.candidatePool()
+		specPool[j.Addr] = j
+		n.mu.RUnlock()
+		newVN = miniNeighbors(j, specPool)
+	}
+
 	n.mu.Lock()
 	// Candidate pool: us, our neighbours, their neighbours.
 	pool := n.candidatePool()
 	pool[j.Addr] = j
-	newVN := miniNeighbors(j, pool)
+	if specPool == nil || !poolsEqual(pool, specPool) {
+		newVN = miniNeighbors(j, pool)
+	}
 
 	// Bootstrap two-hop knowledge for the joiner from what we know.
 	var records []proto.NeighborRecord
@@ -482,6 +497,22 @@ func (n *Node) handleSetNeighbors(env *proto.Envelope) {
 // refreshes neighbours, and performs the close-neighbour and BLRn
 // exchanges of AddVoronoiRegion.
 func (n *Node) integrateNewcomer(j proto.NodeInfo) {
+	// Optimistic phase (see surgery.go): snapshot the pool under the read
+	// lock, run the Delaunay recompute with no lock held.
+	var specPool map[string]proto.NodeInfo
+	var specVN []proto.NodeInfo
+	if !n.cfg.SerialSurgery {
+		n.mu.RLock()
+		if !n.joined || j.Addr == n.self.Addr ||
+			(n.tombs[j.Addr] && j.Gen <= n.tombGen[j.Addr]) {
+			n.mu.RUnlock()
+			return
+		}
+		specPool = n.candidatePool()
+		specPool[j.Addr] = j
+		n.mu.RUnlock()
+		specVN = miniNeighbors(n.self, specPool)
+	}
 	n.mu.Lock()
 	if !n.joined || j.Addr == n.self.Addr {
 		n.mu.Unlock()
@@ -500,7 +531,7 @@ func (n *Node) integrateNewcomer(j proto.NodeInfo) {
 	}
 	pool := n.candidatePool()
 	pool[j.Addr] = j
-	changed := n.recomputeLocked(pool)
+	changed := n.recomputeFromLocked(pool, specPool, specVN)
 	// Cache coherence on AddVoronoiRegion: regions the newcomer is now
 	// strictly closer to changed hands, so their cached owners are stale.
 	if n.cache != nil {
@@ -563,17 +594,37 @@ func (n *Node) integrateNewcomer(j proto.NodeInfo) {
 // in turn; broadcasts stop as soon as views are exact, so the exchange
 // terminates.
 func (n *Node) handleNeighborList(env *proto.Envelope) {
-	n.mu.Lock()
-	if !n.joined {
-		n.mu.Unlock()
-		return
-	}
 	mentionsUs := false
 	for _, v := range env.Neighbors {
 		if v.Addr == n.self.Addr {
 			mentionsUs = true
 			break
 		}
+	}
+	// Optimistic phase (see surgery.go): build the pool as it will look
+	// after the sender's list is stored — candidatePoolOverride substitutes
+	// the fresh list without mutating the table — and recompute off-lock.
+	var specPool map[string]proto.NodeInfo
+	var specVN []proto.NodeInfo
+	if !n.cfg.SerialSurgery {
+		n.mu.RLock()
+		if !n.joined {
+			n.mu.RUnlock()
+			return
+		}
+		if _, isNbr := n.vn[env.From.Addr]; !isNbr && !mentionsUs {
+			n.mu.RUnlock()
+			return
+		}
+		specPool = n.candidatePoolOverride(env.From.Addr, env.Neighbors)
+		specPool[env.From.Addr] = env.From
+		n.mu.RUnlock()
+		specVN = miniNeighbors(n.self, specPool)
+	}
+	n.mu.Lock()
+	if !n.joined {
+		n.mu.Unlock()
+		return
 	}
 	_, isNbr := n.vn[env.From.Addr]
 	if !isNbr && !mentionsUs {
@@ -583,7 +634,7 @@ func (n *Node) handleNeighborList(env *proto.Envelope) {
 	n.twoHop[env.From.Addr] = env.Neighbors
 	pool := n.candidatePool()
 	pool[env.From.Addr] = env.From
-	changed := n.recomputeLocked(pool)
+	changed := n.recomputeFromLocked(pool, specPool, specVN)
 	_, nowNbr := n.vn[env.From.Addr]
 	var vns []proto.NodeInfo
 	var moves []backMove
@@ -727,12 +778,28 @@ func (n *Node) sendBackMoves(moves []backMove) {
 // recomputing our neighbourhood without it (its old neighbour list, which
 // we hold in the two-hop table, supplies the hole's other border nodes).
 func (n *Node) handleLeave(env *proto.Envelope) {
+	gone := env.From.Addr
+	// Optimistic phase (see surgery.go): the post-leave pool is today's
+	// pool minus the departed node, so it can be built and recomputed
+	// without the write lock.
+	var specPool map[string]proto.NodeInfo
+	var specVN []proto.NodeInfo
+	if !n.cfg.SerialSurgery {
+		n.mu.RLock()
+		if !n.joined {
+			n.mu.RUnlock()
+			return
+		}
+		specPool = n.candidatePool()
+		delete(specPool, gone)
+		n.mu.RUnlock()
+		specVN = miniNeighbors(n.self, specPool)
+	}
 	n.mu.Lock()
 	if !n.joined {
 		n.mu.Unlock()
 		return
 	}
-	gone := env.From.Addr
 	n.tombstoneLocked(gone, env.From.Gen)
 	// Build the pool *before* dropping the departed node's list: its old
 	// neighbours are exactly the other border nodes of the hole.
@@ -741,7 +808,7 @@ func (n *Node) handleLeave(env *proto.Envelope) {
 	delete(n.vn, gone)
 	delete(n.twoHop, gone)
 	delete(n.cn, gone)
-	n.recomputeLocked(pool)
+	n.recomputeFromLocked(pool, specPool, specVN)
 	vns := n.vnList()
 	dep, depGen := n.departedLocked()
 	n.mu.Unlock()
@@ -875,7 +942,12 @@ func (n *Node) departedLocked() ([]string, []uint64) {
 // recomputeLocked rebuilds vn from the pool and reports whether the set
 // changed. Caller holds n.mu.
 func (n *Node) recomputeLocked(pool map[string]proto.NodeInfo) bool {
-	newVN := miniNeighbors(n.self, pool)
+	return n.installVNLocked(miniNeighbors(n.self, pool))
+}
+
+// installVNLocked replaces vn with newVN and reports whether the set
+// changed. Caller holds n.mu.
+func (n *Node) installVNLocked(newVN []proto.NodeInfo) bool {
 	fresh := make(map[string]proto.NodeInfo, len(newVN))
 	for _, v := range newVN {
 		fresh[v.Addr] = v

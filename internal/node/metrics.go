@@ -55,6 +55,7 @@ type nodeMetrics struct {
 	cacheHits          *metrics.Counter   // node_cache_hits_total: origin found a cached owner for the target's cell
 	cacheMisses        *metrics.Counter   // node_cache_misses_total: origin consulted the cache and found nothing
 	cacheInvalidations *metrics.Counter   // node_cache_invalidations_total: entries dropped by view-change surgery
+	cacheRefresh       *metrics.Counter   // node_cache_refresh_total: hot entries re-validated by the background refresher
 	probeWasted        *metrics.Counter   // node_probe_wasted_total: answers for an already-resolved request
 	firstByteHops      *metrics.Histogram // node_first_byte_hops: hops of the first answer per read (Query / GET)
 
@@ -102,6 +103,7 @@ func newNodeMetrics() nodeMetrics {
 		cacheHits:          r.Counter("node_cache_hits_total"),
 		cacheMisses:        r.Counter("node_cache_misses_total"),
 		cacheInvalidations: r.Counter("node_cache_invalidations_total"),
+		cacheRefresh:       r.Counter("node_cache_refresh_total"),
 		probeWasted:        r.Counter("node_probe_wasted_total"),
 		firstByteHops:      r.Histogram("node_first_byte_hops", hops),
 

@@ -108,6 +108,22 @@ type Config struct {
 	// crashed node rejoin at its old address without stale departure
 	// gossip killing it again. Leave 0 for nodes that never restart.
 	Generation uint64
+	// SerialSurgery disables the optimistic view-surgery path (see
+	// surgery.go): handlers then run their Delaunay recompute entirely
+	// under the write lock, the pre-optimistic behaviour. The default
+	// (false) precomputes off-lock and validates by pool equality before
+	// installing. Exists for A/B benchmarking; the installed views and
+	// the serial-simnet transcripts are identical either way.
+	SerialSurgery bool
+	// CacheRefreshInterval, with RouteCacheSize > 0, starts a background
+	// loop that re-queries the origin's hottest cached targets each
+	// interval: the answer re-populates (or corrects) the cache entry
+	// before a client pays for the miss. 0 (the default) disables the
+	// refresher; see refresh.go.
+	CacheRefreshInterval time.Duration
+	// CacheRefreshBatch bounds how many hot entries each refresh round
+	// re-validates (default 4).
+	CacheRefreshBatch int
 }
 
 // HopsTimedOut is the hop count a Query callback receives when its
@@ -184,6 +200,11 @@ type Node struct {
 	// Config.RouteCacheSize > 0). It is a leaf lock: safe to consult
 	// under n.mu and from callback paths.
 	cache *routeCache
+
+	// refreshStop ends the background cache refresher (see refresh.go);
+	// nil when no refresher was configured.
+	refreshStop chan struct{}
+	refreshOnce sync.Once
 
 	// Durability (see durable.go): wal is set once by NewDurable before
 	// the message handler is installed and never reassigned, so the nil
@@ -297,6 +318,7 @@ func newNode(ep transport.Endpoint, pos geom.Point, cfg Config) *Node {
 	if cfg.RouteCacheSize > 0 {
 		n.cache = newRouteCache(cfg.RouteCacheSize, cfg.DMin)
 	}
+	n.startRefresher()
 	return n
 }
 
@@ -654,6 +676,7 @@ func (n *Node) Leave() error {
 	// recovering: a rejoin at this address must start clean, exactly as
 	// the in-memory store does (n.kv.Clear).
 	n.walReset()
+	n.stopRefresher()
 	return nil
 }
 
