@@ -1,0 +1,135 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"voronet/internal/metrics"
+	"voronet/internal/proto"
+)
+
+// The codec phase of -net measures the wire format itself, off the
+// network: encode/decode wall time and bytes per envelope for the
+// binary codec against the legacy gob baseline, over proto.Samples()
+// (one realistic envelope per message kind). The gob side goes through
+// the pooled AppendEncodeGob path, so the comparison is against the
+// best the legacy codec can do, not against its old per-call
+// bytes.Buffer churn. -net-codec runs this phase alone — the CI smoke
+// that gates bytes_per_envelope_binary <= 0.5 × gob.
+var netCodecOnly = flag.Bool("net-codec", false, "run only the codec phase of -net (CI smoke), JSON on stdout")
+
+// codecIters is sized so the slow side (gob, ~20 µs/op) still finishes
+// in well under a second on a 1-vCPU runner.
+const codecIters = 500
+
+func runNetCodec(enc *json.Encoder) {
+	samples := proto.Samples()
+
+	var binBytes, gobBytes int
+	binFrames := make([][]byte, len(samples))
+	gobFrames := make([][]byte, len(samples))
+	for i, e := range samples {
+		binFrames[i] = proto.AppendEncode(nil, e)
+		g, err := proto.EncodeGob(e)
+		if err != nil {
+			fatal(fmt.Errorf("codec bench: gob encode kind %s: %w", e.Type, err))
+		}
+		gobFrames[i] = g
+		binBytes += len(binFrames[i])
+		gobBytes += len(g)
+	}
+
+	ops := codecIters * len(samples)
+	buf := make([]byte, 0, 4096)
+
+	t0 := time.Now()
+	for it := 0; it < codecIters; it++ {
+		for _, e := range samples {
+			buf = proto.AppendEncode(buf[:0], e)
+		}
+	}
+	binEncNs := float64(time.Since(t0).Nanoseconds()) / float64(ops)
+
+	t0 = time.Now()
+	for it := 0; it < codecIters; it++ {
+		for _, e := range samples {
+			b, err := proto.AppendEncodeGob(buf[:0], e)
+			if err != nil {
+				fatal(err)
+			}
+			buf = b
+		}
+	}
+	gobEncNs := float64(time.Since(t0).Nanoseconds()) / float64(ops)
+
+	t0 = time.Now()
+	for it := 0; it < codecIters; it++ {
+		for _, f := range binFrames {
+			if _, err := proto.Decode(f); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	binDecNs := float64(time.Since(t0).Nanoseconds()) / float64(ops)
+
+	t0 = time.Now()
+	for it := 0; it < codecIters; it++ {
+		for _, f := range gobFrames {
+			if _, err := proto.Decode(f); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	gobDecNs := float64(time.Since(t0).Nanoseconds()) / float64(ops)
+
+	binPer := float64(binBytes) / float64(len(samples))
+	gobPer := float64(gobBytes) / float64(len(samples))
+	line := map[string]any{
+		"bench":                     "net",
+		"phase":                     "codec",
+		"samples":                   len(samples),
+		"iters":                     codecIters,
+		"encode_ns_per_op_binary":   round3(binEncNs),
+		"encode_ns_per_op_gob":      round3(gobEncNs),
+		"decode_ns_per_op_binary":   round3(binDecNs),
+		"decode_ns_per_op_gob":      round3(gobDecNs),
+		"bytes_per_envelope_binary": round3(binPer),
+		"bytes_per_envelope_gob":    round3(gobPer),
+		"size_ratio_gob_vs_binary":  round3(gobPer / binPer),
+		"encode_speedup_vs_gob":     round3(gobEncNs / binEncNs),
+		"decode_speedup_vs_gob":     round3(gobDecNs / binDecNs),
+		"unix_millis":               time.Now().UnixMilli(),
+	}
+	if err := enc.Encode(line); err != nil {
+		fatal(err)
+	}
+	verdict := "MATCHES"
+	if gobPer/binPer < 2 || gobEncNs/binEncNs < 3 {
+		verdict = "DIVERGES"
+	}
+	fmt.Fprintf(os.Stderr,
+		"# codec %s — binary vs gob: %.2fx smaller envelopes (want >= 2x), %.2fx faster encode (want >= 3x)\n",
+		verdict, gobPer/binPer, gobEncNs/binEncNs)
+}
+
+// runNetCodecOnly is the -net-codec entry point: the codec phase alone.
+func runNetCodecOnly() {
+	runNetCodec(json.NewEncoder(os.Stdout))
+}
+
+// sumCounterPrefix totals every counter in the snapshot whose name
+// starts with prefix — used to collapse the per-kind wire-byte books
+// (node_wire_bytes_sent_<kind>_total) into one figure per run.
+func sumCounterPrefix(snap metrics.Snapshot, prefix string) uint64 {
+	var total uint64
+	for name, v := range snap.Counters {
+		if strings.HasPrefix(name, prefix) {
+			total += v
+		}
+	}
+	return total
+}

@@ -88,6 +88,9 @@ func main() {
 	}
 	start := time.Now()
 	switch {
+	case *netCodecOnly:
+		runNetCodecOnly()
+		return
 	case *netBench:
 		runNetBench()
 		return

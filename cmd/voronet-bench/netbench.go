@@ -97,9 +97,15 @@ func buildNetWorkload() *netWorkload {
 	return w
 }
 
+// netWire selects the overlay's send codec for the next TCP run:
+// "binary" (the default wire format) or "gob" (the legacy baseline the
+// codec A/B phase reruns the mixed workload under).
+var netWire = "binary"
+
 func netNodeConfig(i int) node.Config {
 	return node.Config{
 		DMin: 0.05, LongLinks: 2, Seed: int64(i),
+		GobWire: netWire == "gob",
 		// Generous deadlines: a timed-out op would skew the hop totals the
 		// modes are compared on.
 		StoreTimeout: 60 * time.Second, QueryTimeout: 60 * time.Second,
@@ -548,6 +554,7 @@ func runNetClientBench(w *netWorkload) (pipe, oneshot *netPhaseStats) {
 func runNetBench() {
 	w := buildNetWorkload()
 	enc := json.NewEncoder(os.Stdout)
+	runNetCodec(enc) // the off-network codec microphase leads the file
 	type result struct {
 		query, get, mixed *netPhaseStats
 	}
@@ -558,7 +565,16 @@ func runNetBench() {
 		}
 		return a
 	}
-	for _, mode := range []string{"serial", "parallel"} {
+	// The codec A/B leg: besides serial vs parallel dispatch (both on the
+	// binary wire), the parallel mode runs once more under the legacy gob
+	// codec — same topology, same draws — so the wire-byte books and
+	// mixed-load throughput isolate the codec's contribution.
+	wireBytes := map[string]uint64{}
+	for _, run := range []struct{ mode, wire string }{
+		{"serial", "binary"}, {"parallel", "binary"}, {"parallel", "gob"},
+	} {
+		mode := run.mode
+		netWire = run.wire
 		var q, g, m *netPhaseStats
 		var snap metrics.Snapshot
 		for rep := 0; rep < max(*netReps, 1); rep++ {
@@ -566,39 +582,47 @@ func runNetBench() {
 			q, g, m = better(q, rq), better(g, rg), better(m, rm)
 			snap = rs // keep the last rep's books; phases keep their best
 		}
-		tcp[mode] = result{query: q, get: g, mixed: m}
+		netWire = "binary"
+		if run.wire == "binary" {
+			tcp[mode] = result{query: q, get: g, mixed: m}
+		} else {
+			tcp["parallel-gob"] = result{query: q, get: g, mixed: m}
+		}
+		wireBytes[mode+"-"+run.wire] = sumCounterPrefix(snap, "node_wire_bytes_sent_")
 		line := map[string]any{
-			"bench":               "net",
-			"transport":           "tcp",
-			"dispatch":            mode,
-			"nodes":               *netNodes,
-			"clients":             *netClients,
-			"ops":                 *netOps,
-			"seed":                *seed,
-			"gomaxprocs":          runtime.GOMAXPROCS(0),
-			"query_qps":           round3(float64(q.completed) / q.wall),
-			"routed_msgs_per_sec": round3(float64(q.sumHops+q.completed) / q.wall),
-			"query_mean_hops":     round3(float64(q.sumHops) / float64(max(q.completed, 1))),
-			"query_sum_hops":      q.sumHops,
-			"query_timeouts":      q.timeouts,
-			"query_p50_us":        round3(q.pct(0.50)),
-			"query_p95_us":        round3(q.pct(0.95)),
-			"query_p99_us":        round3(q.pct(0.99)),
-			"get_ops_per_sec":     round3(float64(g.completed) / g.wall),
-			"get_sum_hops":        g.sumHops,
-			"get_timeouts":        g.timeouts,
-			"get_p50_us":          round3(g.pct(0.50)),
-			"get_p95_us":          round3(g.pct(0.95)),
-			"get_p99_us":          round3(g.pct(0.99)),
-			"mixed_query_qps":     round3(float64(m.completed) / m.wall),
-			"mixed_bg_put_bytes":  *netMixVal,
-			"mixed_bg_puts":       m.bgOps,
-			"mixed_timeouts":      m.timeouts,
-			"mixed_p50_us":        round3(m.pct(0.50)),
-			"mixed_p95_us":        round3(m.pct(0.95)),
-			"mixed_p99_us":        round3(m.pct(0.99)),
-			"metrics":             snap,
-			"unix_millis":         time.Now().UnixMilli(),
+			"bench":                 "net",
+			"transport":             "tcp",
+			"dispatch":              mode,
+			"wire":                  run.wire,
+			"wire_bytes_sent_total": wireBytes[mode+"-"+run.wire],
+			"nodes":                 *netNodes,
+			"clients":               *netClients,
+			"ops":                   *netOps,
+			"seed":                  *seed,
+			"gomaxprocs":            runtime.GOMAXPROCS(0),
+			"query_qps":             round3(float64(q.completed) / q.wall),
+			"routed_msgs_per_sec":   round3(float64(q.sumHops+q.completed) / q.wall),
+			"query_mean_hops":       round3(float64(q.sumHops) / float64(max(q.completed, 1))),
+			"query_sum_hops":        q.sumHops,
+			"query_timeouts":        q.timeouts,
+			"query_p50_us":          round3(q.pct(0.50)),
+			"query_p95_us":          round3(q.pct(0.95)),
+			"query_p99_us":          round3(q.pct(0.99)),
+			"get_ops_per_sec":       round3(float64(g.completed) / g.wall),
+			"get_sum_hops":          g.sumHops,
+			"get_timeouts":          g.timeouts,
+			"get_p50_us":            round3(g.pct(0.50)),
+			"get_p95_us":            round3(g.pct(0.95)),
+			"get_p99_us":            round3(g.pct(0.99)),
+			"mixed_query_qps":       round3(float64(m.completed) / m.wall),
+			"mixed_bg_put_bytes":    *netMixVal,
+			"mixed_bg_puts":         m.bgOps,
+			"mixed_timeouts":        m.timeouts,
+			"mixed_p50_us":          round3(m.pct(0.50)),
+			"mixed_p95_us":          round3(m.pct(0.95)),
+			"mixed_p99_us":          round3(m.pct(0.99)),
+			"metrics":               snap,
+			"unix_millis":           time.Now().UnixMilli(),
 		}
 		if err := enc.Encode(line); err != nil {
 			fatal(err)
@@ -773,4 +797,28 @@ func runNetBench() {
 	}
 	fmt.Fprintf(os.Stderr, "# net %s — parallel dispatch vs serial baseline: %.2fx routed throughput (want >= 2x)\n",
 		verdictStderr, speedup)
+
+	// Codec A/B summary: parallel dispatch, binary vs gob wire. The hop
+	// identity check matters here too — a codec must change bytes and
+	// nanoseconds, never routing.
+	parGob := tcp["parallel-gob"]
+	wireRatio := 0.0
+	if wireBytes["parallel-binary"] > 0 {
+		wireRatio = float64(wireBytes["parallel-gob"]) / float64(wireBytes["parallel-binary"])
+	}
+	codecSummary := map[string]any{
+		"bench":                      "net",
+		"phase":                      "codec_ab",
+		"summary":                    true,
+		"wire_bytes_binary":          wireBytes["parallel-binary"],
+		"wire_bytes_gob":             wireBytes["parallel-gob"],
+		"wire_bytes_ratio_gob":       round3(wireRatio),
+		"mixed_qps_ratio_vs_gob":     round3((float64(par.mixed.completed) / par.mixed.wall) / (float64(parGob.mixed.completed) / parGob.mixed.wall)),
+		"query_qps_ratio_vs_gob":     round3((float64(par.query.completed) / par.query.wall) / (float64(parGob.query.completed) / parGob.query.wall)),
+		"hops_identical_across_wire": par.query.sumHops == parGob.query.sumHops && par.get.sumHops == parGob.get.sumHops,
+	}
+	if err := enc.Encode(codecSummary); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "# codec A/B — binary vs gob wire under parallel dispatch: %.2fx fewer bytes on the wire\n", wireRatio)
 }

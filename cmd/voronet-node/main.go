@@ -80,6 +80,7 @@ var (
 	walFsync    = flag.String("wal-fsync", "always", "WAL fsync policy: always|batch|never (-wal-dir)")
 	walFlush    = flag.Duration("wal-flush", time.Second, "periodic WAL flush period under -wal-fsync=batch")
 	maxInflight = flag.Int("max-inflight", 0, "shed store work beyond this many inflight ops (0 disables)")
+	gobWire     = flag.Bool("gob-wire", false, "send with the legacy gob codec instead of the binary wire format (A/B baseline; mixed overlays interoperate)")
 )
 
 func main() {
@@ -101,6 +102,7 @@ func main() {
 		Alpha:          *alpha,
 		RouteCacheSize: *cacheSize,
 		MaxInflight:    *maxInflight,
+		GobWire:        *gobWire,
 	}
 	var nd *node.Node
 	if *walDir != "" {
@@ -364,7 +366,7 @@ func main() {
 // multiplexed connection to the gateway member. Operations issued while
 // earlier ones await their replies genuinely overlap on the wire.
 func runClient(gateway string) {
-	cl, err := client.Dial(gateway, client.Options{Timeout: 30 * time.Second})
+	cl, err := client.Dial(gateway, client.Options{Timeout: 30 * time.Second, GobWire: *gobWire})
 	if err != nil {
 		fatal(err)
 	}

@@ -238,17 +238,24 @@ func (n *Node) SyncReplicasProbe() (digestBytes, fullBytes int) {
 	if len(recs) == 0 {
 		return 0, 0
 	}
+	// Measure in the codec this node actually sends with (Config.GobWire
+	// selects the legacy baseline), so the probe's byte accounting
+	// matches what the wire counters would record.
+	wb := proto.GetBuf()
+	defer wb.Put()
 	for _, t := range syncTargets(self, vns, rep, recs, "") {
-		if b, err := proto.Encode(&proto.Envelope{
+		if b, err := proto.AppendEncodeMode(wb.B[:0], &proto.Envelope{
 			Type: proto.KindSyncDigest, From: self, Handoff: t.handoff,
 			Digest: packFPs(recFPs(t.recs)),
-		}); err == nil {
+		}, n.cfg.GobWire); err == nil {
+			wb.B = b
 			digestBytes += len(b)
 		}
 		for _, chunk := range chunkRecords(t.recs) {
-			if b, err := proto.Encode(&proto.Envelope{
+			if b, err := proto.AppendEncodeMode(wb.B[:0], &proto.Envelope{
 				Type: proto.KindReplicaSync, From: self, Records: chunk, Handoff: t.handoff,
-			}); err == nil {
+			}, n.cfg.GobWire); err == nil {
+				wb.B = b
 				fullBytes += len(b)
 			}
 		}

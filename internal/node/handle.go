@@ -22,6 +22,9 @@ func (n *Node) handle(from string, payload []byte) {
 		n.nm.decodeErrs.Inc()
 		return // malformed frame: drop
 	}
+	if env.Type >= 0 && env.Type < proto.KindCount {
+		n.nm.wireRecvByKind[env.Type].Add(uint64(len(payload)))
+	}
 	n.deliver(env)
 }
 

@@ -26,6 +26,15 @@ type nodeMetrics struct {
 	sentByKind [proto.KindCount]*metrics.Counter
 	recvByKind [proto.KindCount]*metrics.Counter
 
+	// Per-kind bytes-on-wire books (node_wire_bytes_sent_<kind>_total /
+	// node_wire_bytes_recv_<kind>_total): encoded frame sizes as the
+	// codec produced them, so a codec or message-shape regression is
+	// observable per message class, not just as an aggregate. Sent is
+	// counted at encode time (self-delivered frames included — they pay
+	// the encode cost), recv at decode time.
+	wireSentByKind [proto.KindCount]*metrics.Counter
+	wireRecvByKind [proto.KindCount]*metrics.Counter
+
 	queryLatency  *metrics.Histogram // node_query_seconds: Query round trip
 	queryHops     *metrics.Histogram // node_query_hops: answered greedy route length
 	queryTimeouts *metrics.Counter   // node_query_timeouts_total
@@ -121,6 +130,8 @@ func newNodeMetrics() nodeMetrics {
 	for k := proto.Kind(0); k < proto.KindCount; k++ {
 		nm.sentByKind[k] = r.Counter("node_send_" + k.String() + "_total")
 		nm.recvByKind[k] = r.Counter("node_recv_" + k.String() + "_total")
+		nm.wireSentByKind[k] = r.Counter("node_wire_bytes_sent_" + k.String() + "_total")
+		nm.wireRecvByKind[k] = r.Counter("node_wire_bytes_recv_" + k.String() + "_total")
 	}
 	return nm
 }

@@ -124,6 +124,13 @@ type Config struct {
 	// CacheRefreshBatch bounds how many hot entries each refresh round
 	// re-validates (default 4).
 	CacheRefreshBatch int
+	// GobWire restores the legacy encoding/gob wire codec for every
+	// frame this node sends — the A/B baseline for the binary codec.
+	// Inbound frames are auto-detected from their first byte either way,
+	// so gob and binary nodes interoperate in one overlay (see
+	// proto/wire.go). Default false: the compact zero-allocation binary
+	// codec.
+	GobWire bool
 }
 
 // HopsTimedOut is the hop count a Query callback receives when its
@@ -693,12 +700,20 @@ func (n *Node) send(to string, env *proto.Envelope) error {
 	if env.From.Addr == "" {
 		env.From = n.self
 	}
-	b, err := proto.Encode(env)
+	// Encode into a pooled buffer: neither transport retains the payload
+	// after Send returns (see transport.Endpoint), and local delivery
+	// decodes synchronously with copying semantics, so the buffer can go
+	// straight back to the pool on every path out of this function.
+	wb := proto.GetBuf()
+	defer wb.Put()
+	b, err := proto.AppendEncodeMode(wb.B[:0], env, n.cfg.GobWire)
 	if err != nil {
 		return err
 	}
+	wb.B = b
 	n.nm.sent.Inc()
 	n.nm.sentByKind[env.Type].Inc()
+	n.nm.wireSentByKind[env.Type].Add(uint64(len(b)))
 	switch env.Type {
 	case proto.KindReplicaSync, proto.KindSyncDigest, proto.KindSyncPull:
 		// All replica-maintenance traffic, digest-mode and full-record

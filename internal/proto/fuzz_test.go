@@ -42,29 +42,53 @@ func hostileSeeds() []*Envelope {
 	}
 }
 
-// FuzzEnvelopeRoundTrip feeds arbitrary bytes to Decode: garbage must be
-// rejected with an error (never a panic — a node drops the frame and stays
-// up), and anything Decode does accept must re-encode and re-decode to the
-// same wire bytes, so a decoded envelope can always be forwarded intact.
+// FuzzEnvelopeRoundTrip feeds arbitrary bytes to Decode — which sniffs
+// the codec from the first byte, so one fuzz target covers the binary v1
+// decoder and the legacy gob path alike. Garbage must be rejected with an
+// error (never a panic — a node drops the frame and stays up); anything
+// Decode does accept must re-encode and re-decode to the same wire bytes,
+// so a decoded envelope can always be forwarded intact; and the two
+// codecs must agree: round-tripping an accepted envelope through gob has
+// to land on the identical binary encoding (the differential corpus of
+// the acceptance criteria).
 func FuzzEnvelopeRoundTrip(f *testing.F) {
-	for _, env := range fuzzSeeds() {
-		b, err := Encode(env)
+	// Both encodings of every well-formed seed shape (and of the curated
+	// Samples set), so mutations explore both wire grammars.
+	for _, env := range append(fuzzSeeds(), Samples()...) {
+		gb, err := EncodeGob(env)
 		if err != nil {
 			f.Fatal(err)
 		}
-		f.Add(b)
+		f.Add(gb)
+		f.Add(AppendEncode(nil, env))
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0x00, 0x01})
-	// Negative Link/Hops envelopes encode fine (gob carries any int) but
-	// must be rejected by Decode's validation — seed the fuzzer with them
-	// so mutations explore the hostile-field space.
+	// Hostile binary shapes: truncated frames, unterminated varints,
+	// length claims far beyond the frame, unknown flag bits. The decoder
+	// must reject all of them without panicking or over-allocating.
+	f.Add([]byte{wireMagic})
+	f.Add([]byte{wireMagic, byte(KindRoute)})
+	f.Add([]byte{wireMagic, byte(KindRoute), 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80})
+	f.Add([]byte{wireMagic, byte(KindStoreReply), 0x80, 0x80, 0x08, 0xFF, 0xFF, 0xFF, 0x7F, 0xAA})
+	f.Add([]byte{wireMagic, byte(KindJoinGrant), 0x80, 0x08, 0xFF, 0xFF, 0x03, 0x00})
+	f.Add([]byte{wireMagic, byte(KindRoute), 0x80, 0x80, 0x80, 0x01})
+	for _, env := range fuzzSeeds() {
+		b := AppendEncode(nil, env)
+		f.Add(b[:len(b)/2])
+		f.Add(append(append([]byte{}, b...), 0x00))
+	}
+	// Negative Link/Hops envelopes encode fine (gob carries any int, the
+	// binary codec zigzags) but must be rejected by Decode's validation —
+	// seed the fuzzer with them so mutations explore the hostile-field
+	// space in both grammars.
 	for _, env := range hostileSeeds() {
-		b, err := Encode(env)
+		gb, err := EncodeGob(env)
 		if err != nil {
 			f.Fatal(err)
 		}
-		f.Add(b)
+		f.Add(gb)
+		f.Add(AppendEncode(nil, env))
 	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -86,6 +110,22 @@ func FuzzEnvelopeRoundTrip(f *testing.F) {
 		}
 		if !bytes.Equal(b1, b2) {
 			t.Fatalf("encode/decode is not a fixpoint:\n%x\n%x", b1, b2)
+		}
+		// Differential leg: the same envelope through the gob codec must
+		// land back on the identical binary bytes. (Bytes, not DeepEqual:
+		// fuzz inputs can carry NaN floats, which compare unequal to
+		// themselves but round-trip bit-exactly through both codecs.)
+		gb, err := EncodeGob(env)
+		if err != nil {
+			t.Fatalf("accepted envelope failed to gob-encode: %v", err)
+		}
+		envG, err := Decode(gb)
+		if err != nil {
+			t.Fatalf("gob re-decode failed: %v", err)
+		}
+		b3 := AppendEncode(nil, envG)
+		if !bytes.Equal(b1, b3) {
+			t.Fatalf("codecs disagree after round-trip:\nbinary: %x\nvia gob: %x", b1, b3)
 		}
 	})
 }

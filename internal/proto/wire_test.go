@@ -1,0 +1,403 @@
+package proto
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"voronet/internal/geom"
+)
+
+// randEnvelope draws a random envelope of the given kind, populating the
+// fields that kind legitimately carries (plus, occasionally, ones it does
+// not — the codec is kind-agnostic and must round-trip any field mix).
+// Slices are left nil when empty, matching what gob decode produces, so
+// decoded envelopes from the two codecs can be compared with DeepEqual.
+func randEnvelope(rng *rand.Rand, k Kind) *Envelope {
+	pt := func() geom.Point { return geom.Pt(rng.Float64()*2-0.5, rng.Float64()*2-0.5) }
+	str := func() string {
+		n := rng.Intn(24)
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteByte(byte(rng.Intn(256)))
+		}
+		return sb.String()
+	}
+	ninfo := func() NodeInfo {
+		n := NodeInfo{Addr: str(), Pos: pt()}
+		if rng.Intn(2) == 0 {
+			n.Gen = rng.Uint64()
+		}
+		return n
+	}
+	ninfos := func(max int) []NodeInfo {
+		n := rng.Intn(max + 1)
+		if n == 0 {
+			return nil
+		}
+		out := make([]NodeInfo, n)
+		for i := range out {
+			out[i] = ninfo()
+		}
+		return out
+	}
+	bs := func(max int) []byte {
+		n := rng.Intn(max + 1)
+		if n == 0 {
+			return nil
+		}
+		out := make([]byte, n)
+		rng.Read(out)
+		return out
+	}
+
+	e := &Envelope{Type: k, From: ninfo()}
+	switch k {
+	case KindRoute, KindRangeForward:
+		e.Purpose = RoutedPurpose(rng.Intn(7))
+		e.Target, e.TargetB = pt(), pt()
+		e.Origin = ninfo()
+		e.Link = rng.Intn(8)
+		e.Hops = rng.Intn(64)
+		e.QueryID = rng.Uint64()
+		if e.Purpose == PurposeStorePut {
+			e.Value = bs(256)
+		}
+	case KindJoinGrant, KindSetNeighbors, KindNeighborList, KindLeave:
+		e.Neighbors = ninfos(6)
+		if k == KindJoinGrant {
+			n := rng.Intn(4)
+			for i := 0; i < n; i++ {
+				e.TwoHop = append(e.TwoHop, NeighborRecord{Node: ninfo(), VN: ninfos(4)})
+			}
+			e.CloseCand = ninfos(4)
+			for i := rng.Intn(3); i > 0; i-- {
+				e.Back = append(e.Back, BackEntry{Origin: ninfo(), Link: rng.Intn(8), Target: pt()})
+			}
+		}
+	case KindLongLinkGrant, KindLongLinkUpdate, KindBackWithdraw:
+		e.Granter = ninfo()
+		e.Link = rng.Intn(8)
+		e.Hops = rng.Intn(64)
+	case KindBackTransfer:
+		for i := rng.Intn(5); i > 0; i-- {
+			e.Back = append(e.Back, BackEntry{Origin: ninfo(), Link: rng.Intn(8), Target: pt()})
+		}
+	case KindQueryAnswer, KindRangeHit:
+		e.QueryID = rng.Uint64()
+		e.Hops = rng.Intn(64)
+	case KindStoreReply:
+		e.QueryID = rng.Uint64()
+		e.Found = rng.Intn(2) == 0
+		e.Shed = rng.Intn(4) == 0
+		e.Version = rng.Uint64()
+		e.Value = bs(512)
+		e.Hops = rng.Intn(64)
+	case KindReplicaSync:
+		for i := rng.Intn(5); i > 0; i-- {
+			e.Records = append(e.Records, StoreRecord{
+				Key: pt(), Value: bs(128), Version: rng.Uint64(), Deleted: rng.Intn(3) == 0,
+			})
+		}
+		e.Handoff = rng.Intn(2) == 0
+	case KindSyncDigest, KindSyncPull:
+		e.Digest = bs(32 * 8)
+		if len(e.Digest)%8 != 0 {
+			e.Digest = e.Digest[:len(e.Digest)/8*8]
+			if len(e.Digest) == 0 {
+				e.Digest = nil
+			}
+		}
+		e.Handoff = rng.Intn(2) == 0
+	}
+	// Cross-cutting extras any kind may carry.
+	if rng.Intn(3) == 0 {
+		e.Trace = true
+		for i := rng.Intn(4); i > 0; i-- {
+			e.Path = append(e.Path, TraceHop{Addr: str(), Rule: str(), Nanos: rng.Int63()})
+		}
+	}
+	if rng.Intn(3) == 0 {
+		n := rng.Intn(4)
+		for i := 0; i < n; i++ {
+			e.Departed = append(e.Departed, str())
+		}
+		if n > 0 && rng.Intn(2) == 0 {
+			for i := 0; i < n; i++ {
+				e.DepartedGen = append(e.DepartedGen, rng.Uint64())
+			}
+		}
+	}
+	return e
+}
+
+// TestBinaryGobDifferential is the differential round-trip property test
+// of the acceptance criteria: for every kind, over many randomly drawn
+// envelopes (and the curated Samples), the gob path and the binary path
+// must decode to semantically identical envelopes, and the binary
+// encoding must be a fixpoint (decode ∘ encode = id on wire bytes), so a
+// decoded envelope can always be forwarded intact.
+func TestBinaryGobDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	check := func(t *testing.T, env *Envelope) {
+		t.Helper()
+		gb, err := EncodeGob(env)
+		if err != nil {
+			t.Fatalf("gob encode: %v", err)
+		}
+		fromGob, err := Decode(gb)
+		if err != nil {
+			t.Fatalf("gob decode: %v", err)
+		}
+		bb := AppendEncode(nil, env)
+		if len(bb) > len(gb) {
+			t.Errorf("binary frame (%d B) larger than gob (%d B) for kind %v", len(bb), len(gb), env.Type)
+		}
+		fromBin, err := Decode(bb)
+		if err != nil {
+			t.Fatalf("binary decode: %v (frame %x)", err, bb)
+		}
+		if !reflect.DeepEqual(fromGob, fromBin) {
+			t.Fatalf("codecs disagree for kind %v:\n gob   : %+v\n binary: %+v", env.Type, fromGob, fromBin)
+		}
+		again := AppendEncode(nil, fromBin)
+		if !bytes.Equal(bb, again) {
+			t.Fatalf("binary encode not a fixpoint for kind %v:\n%x\n%x", env.Type, bb, again)
+		}
+	}
+	for _, env := range Samples() {
+		check(t, env)
+	}
+	for k := Kind(0); k < KindCount; k++ {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			for i := 0; i < 300; i++ {
+				check(t, randEnvelope(rng, k))
+			}
+		})
+	}
+}
+
+// TestAppendEncodeZeroAllocs is the allocation regression gate of the
+// acceptance criteria: once the destination buffer has warmed up,
+// AppendEncode must not touch the heap for any representative envelope.
+func TestAppendEncodeZeroAllocs(t *testing.T) {
+	for _, env := range Samples() {
+		env := env
+		t.Run(env.Type.String(), func(t *testing.T) {
+			buf := make([]byte, 0, 4096)
+			allocs := testing.AllocsPerRun(200, func() {
+				buf = AppendEncode(buf[:0], env)
+			})
+			if allocs != 0 {
+				t.Fatalf("AppendEncode allocated %.1f times per op for kind %v, want 0", allocs, env.Type)
+			}
+		})
+	}
+}
+
+// TestBinaryDecodeRejectsTruncation: every strict prefix of a binary
+// frame must be rejected with an error (the flags promise fields the
+// bytes do not deliver), never a panic and never a partial envelope.
+func TestBinaryDecodeRejectsTruncation(t *testing.T) {
+	for _, env := range Samples() {
+		full := AppendEncode(nil, env)
+		for cut := 0; cut < len(full); cut++ {
+			if _, err := Decode(full[:cut]); err == nil {
+				t.Fatalf("kind %v: %d-byte prefix of a %d-byte frame decoded without error",
+					env.Type, cut, len(full))
+			}
+		}
+	}
+}
+
+// TestBinaryDecodeRejectsTrailingBytes: a frame with bytes after the
+// envelope is not one of ours.
+func TestBinaryDecodeRejectsTrailingBytes(t *testing.T) {
+	b := AppendEncode(nil, Samples()[0])
+	if _, err := Decode(append(b, 0x00)); err == nil {
+		t.Fatal("frame with a trailing byte decoded without error")
+	}
+}
+
+// TestBinaryDecodeRejectsHostileLengths: oversized length claims and
+// unterminated varints must error out against the remaining byte count
+// before any allocation is sized from them.
+func TestBinaryDecodeRejectsHostileLengths(t *testing.T) {
+	cases := map[string][]byte{
+		// flags say Value present; Value length claims 2^30 with 2 bytes left.
+		"oversized value length": append(
+			[]byte{wireMagic, byte(KindStoreReply)},
+			0x91, 0x80, 0x04, // flags varint: flagValue (bit 17)... crafted below
+		),
+		"bad flags varint":   {wireMagic, byte(KindRoute), 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80},
+		"empty frame":        {},
+		"magic only":         {wireMagic},
+		"magic + kind only":  {wireMagic, byte(KindRoute)},
+		"unknown flag bit":   {wireMagic, byte(KindRoute), 0x80, 0x80, 0x01}, // bit 28
+		"neighbor count lie": nil,                                            // built below
+	}
+	// flags = flagValue exactly, then an oversized uvarint length.
+	withValue := []byte{wireMagic, byte(KindStoreReply)}
+	var fl [10]byte
+	n := putUvarint(fl[:], flagValue)
+	withValue = append(withValue, fl[:n]...)
+	withValue = append(withValue, 0xFF, 0xFF, 0xFF, 0x7F) // length ≈ 2^28
+	withValue = append(withValue, 0xAA, 0xBB)
+	cases["oversized value length"] = withValue
+
+	lie := []byte{wireMagic, byte(KindJoinGrant)}
+	n = putUvarint(fl[:], flagNeighbors)
+	lie = append(lie, fl[:n]...)
+	lie = append(lie, 0xFF, 0xFF, 0x03) // 65535 neighbours in a 1-byte body
+	lie = append(lie, 0x00)
+	cases["neighbor count lie"] = lie
+
+	for name, frame := range cases {
+		if env, err := Decode(frame); err == nil {
+			t.Errorf("%s: decoded to %+v, want error", name, env)
+		}
+	}
+}
+
+func putUvarint(buf []byte, v uint64) int {
+	i := 0
+	for v >= 0x80 {
+		buf[i] = byte(v) | 0x80
+		v >>= 7
+		i++
+	}
+	buf[i] = byte(v)
+	return i + 1
+}
+
+// TestBinaryRejectsNegativeFields mirrors the gob-path hostile-seed test:
+// negative Link / Hops / Back.Link zigzag-encode fine but must be thrown
+// out by validation, on both codecs.
+func TestBinaryRejectsNegativeFields(t *testing.T) {
+	for i, env := range hostileSeeds() {
+		b := AppendEncode(nil, env)
+		if got, err := Decode(b); err == nil {
+			t.Errorf("seed %d: hostile binary envelope decoded to %+v, want rejection", i, got)
+		}
+	}
+}
+
+// TestWireBufPoolRoundTrip exercises the pooled-buffer cycle senders use
+// and the size cap that keeps giant value frames out of the pool.
+func TestWireBufPoolRoundTrip(t *testing.T) {
+	wb := GetBuf()
+	wb.B = AppendEncode(wb.B[:0], Samples()[0])
+	if _, err := Decode(wb.B); err != nil {
+		t.Fatalf("decode from pooled buffer: %v", err)
+	}
+	wb.Put()
+
+	big := GetBuf()
+	big.B = append(big.B[:0], make([]byte, maxPooledBuf+1)...)
+	kept := &big.B[0]
+	_ = kept
+	big.Put()
+	if cap(big.B) > maxPooledBuf {
+		t.Fatalf("oversized buffer (%d B cap) returned to pool", cap(big.B))
+	}
+}
+
+// TestGobStreamNeverStartsWithMagic backs the one-byte codec sniff: the
+// gob encoding of every sample and of hundreds of random envelopes must
+// not begin with wireMagic, or Decode would misroute it to the binary
+// decoder.
+func TestGobStreamNeverStartsWithMagic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	envs := Samples()
+	for k := Kind(0); k < KindCount; k++ {
+		for i := 0; i < 50; i++ {
+			envs = append(envs, randEnvelope(rng, k))
+		}
+	}
+	for _, env := range envs {
+		b, err := EncodeGob(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b) > 0 && b[0] == wireMagic {
+			t.Fatalf("gob frame starts with the binary magic byte %#x: %x", wireMagic, b[:8])
+		}
+	}
+}
+
+// BenchmarkAppendEncode / BenchmarkEncodeGob put numbers on the codec
+// swap; voronet-bench -net's codec phase reports the same comparison as
+// JSON.
+func BenchmarkAppendEncode(b *testing.B) {
+	envs := Samples()
+	buf := make([]byte, 0, 4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendEncode(buf[:0], envs[i%len(envs)])
+	}
+}
+
+func BenchmarkEncodeGob(b *testing.B) {
+	envs := Samples()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeGob(envs[i%len(envs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeBinary(b *testing.B) {
+	var frames [][]byte
+	for _, e := range Samples() {
+		frames = append(frames, AppendEncode(nil, e))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(frames[i%len(frames)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeGob(b *testing.B) {
+	var frames [][]byte
+	for _, e := range Samples() {
+		f, err := EncodeGob(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		frames = append(frames, f)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(frames[i%len(frames)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestBytesPerEnvelopeAdvantage documents the size win the CI codec gate
+// asserts end to end: across the representative sample set the binary
+// codec must be at least 2× smaller than gob.
+func TestBytesPerEnvelopeAdvantage(t *testing.T) {
+	var gobTotal, binTotal int
+	for _, env := range Samples() {
+		gb, err := EncodeGob(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gobTotal += len(gb)
+		binTotal += len(AppendEncode(nil, env))
+	}
+	if binTotal*2 > gobTotal {
+		t.Fatalf("binary codec too large: %d B vs gob %d B across %d samples (want ≤ 0.5×)",
+			binTotal, gobTotal, len(Samples()))
+	}
+	t.Logf("bytes per envelope: gob %.1f, binary %.1f (%.2fx smaller)",
+		float64(gobTotal)/float64(len(Samples())), float64(binTotal)/float64(len(Samples())),
+		float64(gobTotal)/float64(binTotal))
+}

@@ -167,6 +167,26 @@ func (cc *tcpConn) queueGauge() *metrics.Gauge {
 // are O(1) so real frames are tiny.
 const MaxFrame = 1 << 20
 
+// frameBuf is a pooled outbound frame buffer: Send encodes
+// [header | payload] into one and blocks until the write carrying those
+// bytes finished (directly or inside a coalesced flush batch), so the
+// buffer can return to the pool the moment Send's outcome is known —
+// per-frame allocation churn was the transport-side half of the
+// per-message cost the pooled codec removes. maxPooledFrame keeps the
+// occasional MiB-sized value frame from pinning pool memory.
+type frameBuf struct{ b []byte }
+
+const maxPooledFrame = 1 << 18
+
+var framePool = sync.Pool{New: func() any { return &frameBuf{b: make([]byte, 0, 2048)} }}
+
+func putFrameBuf(fb *frameBuf) {
+	if cap(fb.b) > maxPooledFrame {
+		fb.b = make([]byte, 0, 2048)
+	}
+	framePool.Put(fb)
+}
+
 // ListenTCP starts an endpoint on the given address ("127.0.0.1:0" picks a
 // free port) with the default concurrent options.
 func ListenTCP(addr string) (*TCPEndpoint, error) {
@@ -247,12 +267,24 @@ func (e *TCPEndpoint) readLoop(c net.Conn) {
 	// socket buffer and TCP flow control provide the bounded mailbox); in
 	// SerialDispatch mode the legacy global mutex serialises handlers
 	// across all connections.
+	// Frames are read into two buffers reused for the life of the
+	// connection (the Handler contract: payloads are valid only for the
+	// duration of the call, and every handler in this codebase decodes or
+	// copies synchronously). The peer's address is constant per
+	// connection, so the `from` string is interned once; together with
+	// the pooled send frames this makes the steady-state transport path
+	// allocation-free per message.
 	r := bufio.NewReader(c)
 	peer := ""
+	var fromBuf, payloadBuf []byte
 	for {
-		from, payload, err := readFrame(r)
+		fromB, payload, err := readFrameInto(r, &fromBuf, &payloadBuf)
 		if err != nil {
 			return
+		}
+		from := peer
+		if string(fromB) != peer { // comparison does not allocate
+			from = string(fromB)
 		}
 		if peer == "" {
 			// First frame on a fresh inbound connection: the peer dialled
@@ -294,6 +326,11 @@ func (e *TCPEndpoint) readLoop(c net.Conn) {
 			h(from, payload)
 			e.em.inflight.Dec()
 			<-e.sem
+		}
+		if cap(payloadBuf) > maxPooledFrame {
+			// Don't let one oversized value frame pin a MiB of buffer for
+			// the connection's remaining lifetime.
+			payloadBuf = nil
 		}
 	}
 }
@@ -361,15 +398,21 @@ func (e *TCPEndpoint) Send(to string, payload []byte) error {
 		}
 		e.mu.Unlock()
 	}
-	frame := appendFrame(nil, e.Addr(), payload)
+	fb := framePool.Get().(*frameBuf)
+	fb.b = appendFrame(fb.b[:0], e.Addr(), payload)
+	frame := fb.b
 	var err error
 	if e.opts.NoCoalesce {
 		c.wmu.Lock()
 		_, err = c.c.Write(frame)
 		c.wmu.Unlock()
 	} else {
+		// writeCoalesced returns only after the Write call that carried
+		// this frame's bytes finished (its own, or a flush batch that
+		// copied them out first), so the buffer is reusable on return.
 		err = c.writeCoalesced(frame)
 	}
+	putFrameBuf(fb)
 	if err != nil {
 		e.em.sendErrs.Inc()
 		e.mu.Lock()
@@ -490,33 +533,35 @@ func appendFrame(buf []byte, from string, payload []byte) []byte {
 	return append(buf, payload...)
 }
 
-func readFrame(r io.Reader) (from string, payload []byte, err error) {
-	var hdr [4]byte
-	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+// readFrameInto reads one frame, reusing (and growing as needed) the
+// caller's two buffers. The returned slices alias those buffers and are
+// valid only until the next call — the read loop enforces the Handler
+// payload-lifetime contract before reusing them.
+func readFrameInto(r io.Reader, fromBuf, payloadBuf *[]byte) (from, payload []byte, err error) {
+	if from, err = readSegment(r, fromBuf); err != nil {
 		return
+	}
+	payload, err = readSegment(r, payloadBuf)
+	return
+}
+
+func readSegment(r io.Reader, buf *[]byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > MaxFrame {
-		err = errors.New("transport: oversized frame")
-		return
+		return nil, errors.New("transport: oversized frame")
 	}
-	fb := make([]byte, n)
-	if _, err = io.ReadFull(r, fb); err != nil {
-		return
+	if cap(*buf) < int(n) {
+		*buf = make([]byte, n)
 	}
-	if _, err = io.ReadFull(r, hdr[:]); err != nil {
-		return
+	b := (*buf)[:n]
+	if _, err := io.ReadFull(r, b); err != nil {
+		return nil, err
 	}
-	n = binary.BigEndian.Uint32(hdr[:])
-	if n > MaxFrame {
-		err = errors.New("transport: oversized frame")
-		return
-	}
-	payload = make([]byte, n)
-	if _, err = io.ReadFull(r, payload); err != nil {
-		return
-	}
-	return string(fb), payload, nil
+	return b, nil
 }
 
 var _ Endpoint = (*TCPEndpoint)(nil)

@@ -15,14 +15,22 @@ import (
 	"voronet/internal/metrics"
 )
 
-// Handler processes an inbound message.
+// Handler processes an inbound message. The payload slice is owned by
+// the transport and valid only for the duration of the call: TCP read
+// loops reuse one buffer per connection, so a handler that needs the
+// bytes later must copy them (every handler in this codebase decodes or
+// copies synchronously).
 type Handler func(from string, payload []byte)
 
 // Endpoint is one node's attachment to a transport.
 type Endpoint interface {
 	// Addr is this endpoint's address, routable by peers.
 	Addr() string
-	// Send delivers payload to the endpoint with address `to`.
+	// Send delivers payload to the endpoint with address `to`. Send does
+	// not retain payload after it returns — the Bus copies it into the
+	// queued message and TCP blocks until the bytes reach the socket
+	// write — so callers may encode into pooled buffers and recycle them
+	// as soon as Send's outcome is known (see proto.GetBuf).
 	Send(to string, payload []byte) error
 	// SetHandler installs the inbound message handler. Must be called
 	// before any message can be delivered.
